@@ -1,0 +1,105 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig10
+//	experiments -run all [-quick] [-warmup N] [-measure N] [-parallel N]
+//
+// Each experiment prints rows shaped like the corresponding paper chart
+// plus the paper's reference numbers in its title, so the reproduction can
+// be compared at a glance.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rfpsim/internal/experiments"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available experiments")
+		run      = flag.String("run", "", "experiment id to run, or 'all'")
+		quick    = flag.Bool("quick", false, "reduced workload subset and windows (smoke runs)")
+		warmup   = flag.Uint64("warmup", 0, "override warmup uops per workload")
+		measure  = flag.Uint64("measure", 0, "override measured uops per workload")
+		parallel = flag.Int("parallel", 0, "max concurrent workload simulations (0 = NumCPU)")
+		seeds    = flag.Int("seeds", 1, "seed replicas per workload (statistical averaging)")
+		csvPath  = flag.String("csv", "", "append machine-readable metrics to this CSV file")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("Available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-15s %s\n", e.ID, e.Title)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nuse -run <id> or -run all")
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := experiments.Default()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	if *warmup > 0 {
+		opts.WarmupUops = *warmup
+	}
+	if *measure > 0 {
+		opts.MeasureUops = *measure
+	}
+	opts.Parallel = *parallel
+	opts.Seeds = *seeds
+
+	var csvW *csv.Writer
+	if *csvPath != "" {
+		f, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvW = csv.NewWriter(f)
+		defer csvW.Flush()
+	}
+
+	var ids []string
+	if *run == "all" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+
+	for _, id := range ids {
+		e, ok := experiments.ByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s: %s (%.1fs)\n", res.ID, res.Title, time.Since(start).Seconds())
+		fmt.Println(res.Text)
+		if csvW != nil {
+			for _, k := range res.MetricKeys() {
+				csvW.Write([]string{res.ID, k, strconv.FormatFloat(res.Metrics[k], 'g', -1, 64)})
+			}
+		}
+	}
+}

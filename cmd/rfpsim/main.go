@@ -1,0 +1,169 @@
+// Command rfpsim simulates one workload on one core configuration and
+// prints the full statistics block — the single-run research tool behind
+// the experiment harness.
+//
+// Usage:
+//
+//	rfpsim -workload spec06_mcf [-rfp] [-vp eves|dlvp|composite|epp]
+//	       [-oracle l1|l2|llc|mem] [-2x] [-warmup N] [-measure N] [-seed S]
+//	rfpsim -listworkloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rfpsim/internal/config"
+	"rfpsim/internal/core"
+	"rfpsim/internal/isa"
+	"rfpsim/internal/stats"
+	"rfpsim/internal/trace"
+	"rfpsim/internal/tracefile"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "spec06_mcf", "workload name from the Table 3 suite")
+		traceFile = flag.String("trace", "", "run from a binary trace file instead of a synthetic workload")
+		listWk    = flag.Bool("listworkloads", false, "list the 65-workload suite and exit")
+		useRFP    = flag.Bool("rfp", false, "enable Register File Prefetching")
+		usePAT    = flag.Bool("pat", false, "use the Page Address Table PT encoding")
+		useCtx    = flag.Bool("context", false, "add the path-based context prefetcher")
+		vpMode    = flag.String("vp", "", "value prediction: eves, dlvp, composite or epp")
+		oracle    = flag.String("oracle", "", "oracle prefetch study: l1, l2, llc or mem")
+		upscaled  = flag.Bool("2x", false, "use the futuristic Baseline-2x core")
+		warmup    = flag.Uint64("warmup", 30000, "warmup uops (cache/predictor training)")
+		measure   = flag.Uint64("measure", 60000, "measured uops")
+		noWarmC   = flag.Bool("coldcaches", false, "skip footprint-based cache warming")
+		confBits  = flag.Int("confbits", 1, "RFP confidence counter width (1-4)")
+		ptEntries = flag.Int("ptentries", 1024, "RFP Prefetch Table entries")
+		pipeTrace = flag.Uint64("pipetrace", 0, "stream N cycles of pipeline events to stderr (after warmup)")
+		profile   = flag.Bool("profile", false, "print per-PC load profile (top 15) after the run")
+	)
+	flag.Parse()
+
+	if *listWk {
+		for _, c := range trace.Categories() {
+			for _, s := range trace.ByCategory(c) {
+				fmt.Println(s)
+			}
+		}
+		return
+	}
+
+	cfg := config.Baseline()
+	if *upscaled {
+		cfg = config.Baseline2x()
+	}
+	if *useRFP {
+		cfg = cfg.WithRFP()
+		cfg.RFP.UsePAT = *usePAT
+		cfg.RFP.UseContext = *useCtx
+		cfg.RFP.ConfidenceBits = *confBits
+		cfg.RFP.PTEntries = *ptEntries
+	}
+	switch *vpMode {
+	case "":
+	case "eves":
+		cfg = cfg.WithVP(config.VPEVES)
+	case "dlvp":
+		cfg = cfg.WithVP(config.VPDLVP)
+	case "composite":
+		cfg = cfg.WithVP(config.VPComposite)
+	case "epp":
+		cfg = cfg.WithVP(config.VPEPP)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -vp mode %q\n", *vpMode)
+		os.Exit(2)
+	}
+	switch *oracle {
+	case "":
+	case "l1":
+		cfg = cfg.WithOracle(config.OracleL1ToRF)
+	case "l2":
+		cfg = cfg.WithOracle(config.OracleL2ToL1)
+	case "llc":
+		cfg = cfg.WithOracle(config.OracleLLCToL2)
+	case "mem":
+		cfg = cfg.WithOracle(config.OracleMemToLLC)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -oracle %q\n", *oracle)
+		os.Exit(2)
+	}
+
+	var gen isa.Generator
+	label := trace.Spec{}
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r, err := tracefile.NewReader(f, *traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		gen = r
+		label = trace.Spec{Name: *traceFile, Category: "trace-file"}
+	} else {
+		spec, ok := trace.ByName(*workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q (use -listworkloads)\n", *workload)
+			os.Exit(2)
+		}
+		gen = spec.New()
+		label = spec
+	}
+
+	c := core.New(cfg, gen)
+	if !*noWarmC {
+		c.WarmCaches()
+	}
+	if err := c.Warmup(*warmup); err != nil {
+		fmt.Fprintf(os.Stderr, "warmup failed: %v\n", err)
+		os.Exit(1)
+	}
+	if *pipeTrace > 0 {
+		c.AttachPipeTrace(os.Stderr, c.Cycle(), c.Cycle()+*pipeTrace)
+	}
+	if *profile {
+		c.EnableProfile()
+	}
+	st, err := c.Run(*measure)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
+		os.Exit(1)
+	}
+	printStats(cfg.Name, label, st)
+	if *profile {
+		fmt.Println("\nper-PC load profile (top 15):")
+		fmt.Println(c.Profile())
+	}
+}
+
+func printStats(cfgName string, spec trace.Spec, st *stats.Sim) {
+	fmt.Printf("workload   %s\nconfig     %s\n", spec, cfgName)
+	fmt.Printf("cycles     %d\nuops       %d\nIPC        %.3f\n", st.Cycles, st.Instructions, st.IPC())
+	fmt.Printf("loads      %d (forwarded %d)\nstores     %d\nbranches   %d (mispredicted %d)\n",
+		st.Loads, st.StoreForwarded, st.Stores, st.Branches, st.BranchMispredicts)
+	fmt.Print("load hits  ")
+	for l := 0; l < stats.NumLevels; l++ {
+		fmt.Printf("%s %s  ", stats.LevelName(l), stats.Pct(st.LoadLevelFrac(l)))
+	}
+	fmt.Println()
+	fmt.Printf("speculation  replays %d, hit-miss mispredicts %d, ordering violations %d, DTLB misses %d\n",
+		st.Replays, st.HitMissMispredicts, st.MemOrderViolations, st.DTLBMisses)
+	if st.RFP.Injected > 0 {
+		fmt.Printf("RFP        injected %s, executed %s, useful %s (coverage), wrong %s, fully hidden %s\n",
+			stats.Pct(st.RFPInjectedFrac()), stats.Pct(st.RFPExecutedFrac()),
+			stats.Pct(st.RFPCoverage()), stats.Pct(st.RFPWrongFrac()),
+			stats.Pct(float64(st.RFP.FullyHidden)/float64(st.Loads)))
+	}
+	if st.VP.Predicted > 0 {
+		fmt.Printf("VP         predicted %s of loads, mispredicted %d (flushes %d)\n",
+			stats.Pct(st.VPCoverage()), st.VP.Mispredicted, st.VPFlushes)
+	}
+}

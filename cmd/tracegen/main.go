@@ -1,0 +1,114 @@
+// Command tracegen materializes a synthetic workload into the binary trace
+// format (internal/tracefile), or inspects an existing trace. Traces let
+// the simulator run on externally captured micro-op streams — and let other
+// tools consume this repository's workload suite.
+//
+// Usage:
+//
+//	tracegen -workload spec06_mcf -n 1000000 -o mcf.rfpt
+//	tracegen -info mcf.rfpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rfpsim/internal/isa"
+	"rfpsim/internal/trace"
+	"rfpsim/internal/tracefile"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "workload name to materialize")
+		n        = flag.Uint64("n", 1000000, "number of uops to emit")
+		out      = flag.String("o", "", "output trace path")
+		info     = flag.String("info", "", "print statistics of an existing trace and exit")
+	)
+	flag.Parse()
+
+	if *info != "" {
+		if err := printInfo(*info); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *workload == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "need -workload and -o (or -info <file>)")
+		os.Exit(2)
+	}
+	spec, ok := trace.ByName(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	if err := dump(spec, *n, *out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func dump(spec trace.Spec, n uint64, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := tracefile.NewWriter(f)
+	gen := spec.New()
+	var op isa.MicroOp
+	for i := uint64(0); i < n; i++ {
+		if !gen.Next(&op) {
+			break
+		}
+		if err := w.Write(&op); err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d uops of %s to %s (%.1f MiB, %.1f bytes/uop)\n",
+		w.Count(), spec.Name, path,
+		float64(st.Size())/(1<<20), float64(st.Size())/float64(w.Count()))
+	return f.Close()
+}
+
+func printInfo(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := tracefile.NewReader(f, path)
+	if err != nil {
+		return err
+	}
+	var counts [isa.NumOpClasses]uint64
+	var total uint64
+	var op isa.MicroOp
+	pcs := map[uint64]struct{}{}
+	for r.Next(&op) {
+		counts[op.Class]++
+		total++
+		if op.IsLoad() {
+			pcs[op.PC] = struct{}{}
+		}
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d uops, %d static load PCs\n", path, total, len(pcs))
+	for c := isa.OpClass(0); int(c) < isa.NumOpClasses; c++ {
+		if counts[c] > 0 {
+			fmt.Printf("  %-7s %9d (%.1f%%)\n", c, counts[c], 100*float64(counts[c])/float64(total))
+		}
+	}
+	return nil
+}

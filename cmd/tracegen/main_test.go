@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rfpsim/internal/isa"
+	"rfpsim/internal/trace"
+	"rfpsim/internal/tracefile"
+)
+
+func TestDumpAndInfoRoundTrip(t *testing.T) {
+	spec, ok := trace.ByName("spec06_hmmer")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	path := filepath.Join(t.TempDir(), "hmmer.rfpt")
+	if err := dump(spec, 5000, path); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() < 1000 {
+		t.Errorf("trace suspiciously small: %d bytes", st.Size())
+	}
+	if err := printInfo(path); err != nil {
+		t.Fatalf("printInfo: %v", err)
+	}
+
+	// The dumped trace must replay identically to the generator.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := tracefile.NewReader(f, "check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := spec.New()
+	var want, got isa.MicroOp
+	for i := 0; i < 5000; i++ {
+		gen.Next(&want)
+		if !r.Next(&got) {
+			t.Fatalf("trace ended at %d: %v", i, r.Err())
+		}
+		if got != want {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestDumpToUnwritablePathFails(t *testing.T) {
+	spec, _ := trace.ByName("spec06_hmmer")
+	if err := dump(spec, 10, "/nonexistent-dir/x.rfpt"); err == nil {
+		t.Error("dump to an unwritable path succeeded")
+	}
+}
+
+func TestInfoOnGarbageFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("not a trace at all, definitely"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := printInfo(path); err == nil {
+		t.Error("printInfo accepted garbage")
+	}
+	if err := printInfo(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("printInfo accepted a missing file")
+	}
+}

@@ -1,0 +1,78 @@
+// Memwall reproduces the paper's motivating observation (Figures 1 and 2):
+// the memory wall is not monolithic. Although the L1 hit latency is 40x
+// lower than DRAM latency, so many loads hit the L1 (~93%) that an oracle
+// serving L1 hits at register-file latency is worth about as much as an
+// oracle that eliminates DRAM latency.
+//
+// Run with:
+//
+//	go run ./examples/memwall
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rfpsim/internal/config"
+	"rfpsim/internal/core"
+	"rfpsim/internal/stats"
+	"rfpsim/internal/trace"
+)
+
+// A representative slice of the suite keeps this example fast.
+var workloads = []string{
+	"spec06_mcf", "spec06_hmmer", "spec06_xalancbmk", "spec06_wrf",
+	"spec17_x264", "spark", "geekbench_int", "lammps",
+}
+
+func main() {
+	base := runAll(config.Baseline())
+
+	// Figure 2: where do loads get their data?
+	fmt.Println("Load distribution across the hierarchy (Figure 2):")
+	var frac [stats.NumLevels]float64
+	for _, st := range base {
+		for l := 0; l < stats.NumLevels; l++ {
+			frac[l] += st.LoadLevelFrac(l) / float64(len(base))
+		}
+	}
+	for l := 0; l < stats.NumLevels; l++ {
+		fmt.Printf("  %-5s %s\n", stats.LevelName(l), stats.Pct(frac[l]))
+	}
+
+	// Figure 1: oracle prefetching between adjacent levels.
+	fmt.Println("\nOracle prefetch headroom (Figure 1):")
+	for _, o := range []config.OracleMode{
+		config.OracleL1ToRF, config.OracleL2ToL1,
+		config.OracleLLCToL2, config.OracleMemToLLC,
+	} {
+		oracle := runAll(config.Baseline().WithOracle(o))
+		var sp []float64
+		for i := range base {
+			sp = append(sp, stats.Speedup(base[i], oracle[i]))
+		}
+		fmt.Printf("  %-8s %s\n", o, stats.Pct(stats.GeoMeanSpeedup(sp)))
+	}
+	fmt.Println("\nDespite a 40x latency gap, the L1->RF and Mem->LLC walls are comparable.")
+}
+
+func runAll(cfg config.Core) []*stats.Sim {
+	var out []*stats.Sim
+	for _, name := range workloads {
+		spec, ok := trace.ByName(name)
+		if !ok {
+			log.Fatalf("workload %s missing", name)
+		}
+		c := core.New(cfg, spec.New())
+		c.WarmCaches()
+		if err := c.Warmup(20000); err != nil {
+			log.Fatal(err)
+		}
+		st, err := c.Run(40000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, st)
+	}
+	return out
+}

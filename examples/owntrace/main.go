@@ -1,0 +1,84 @@
+// Owntrace demonstrates the bring-your-own-trace path: materialize a
+// workload into the compact binary trace format, then feed it back to the
+// simulator — the same flow an external Pin/DynamoRIO trace would use via
+// cmd/tracegen and rfpsim -trace.
+//
+// Run with:
+//
+//	go run ./examples/owntrace
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"rfpsim/internal/config"
+	"rfpsim/internal/core"
+	"rfpsim/internal/isa"
+	"rfpsim/internal/stats"
+	"rfpsim/internal/trace"
+	"rfpsim/internal/tracefile"
+)
+
+func main() {
+	spec, ok := trace.ByName("spec06_astar")
+	if !ok {
+		log.Fatal("workload missing")
+	}
+	path := filepath.Join(os.TempDir(), "astar.rfpt")
+
+	// 1. Capture 200k uops into a trace file.
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := tracefile.NewWriter(f)
+	gen := spec.New()
+	var op isa.MicroOp
+	for i := 0; i < 200000; i++ {
+		gen.Next(&op)
+		if err := w.Write(&op); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := f.Stat()
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("captured %d uops to %s (%.1f bytes/uop)\n",
+		w.Count(), path, float64(info.Size())/float64(w.Count()))
+
+	// 2. Replay the trace through the simulator, with and without RFP.
+	run := func(cfg config.Core) *stats.Sim {
+		rf, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rf.Close()
+		r, err := tracefile.NewReader(rf, "astar.rfpt")
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := core.New(cfg, r)
+		if err := c.Warmup(50000); err != nil {
+			log.Fatal(err)
+		}
+		st, err := c.Run(100000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st
+	}
+	base := run(config.Baseline())
+	rfp := run(config.Baseline().WithRFP())
+	fmt.Printf("replayed: baseline IPC %.3f, RFP IPC %.3f (%s), coverage %s\n",
+		base.IPC(), rfp.IPC(),
+		stats.Pct(stats.Speedup(base, rfp)), stats.Pct(rfp.RFPCoverage()))
+
+	os.Remove(path)
+}

@@ -1,0 +1,48 @@
+// Quickstart: simulate one workload on the Tiger-Lake-like baseline with
+// and without Register File Prefetching, and print the headline effect.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rfpsim/internal/config"
+	"rfpsim/internal/core"
+	"rfpsim/internal/stats"
+	"rfpsim/internal/trace"
+)
+
+func main() {
+	spec, ok := trace.ByName("spec06_xalancbmk")
+	if !ok {
+		log.Fatal("workload missing from catalog")
+	}
+
+	// A run is: build a core for a config + workload, warm the caches,
+	// warm the predictors, then measure.
+	measure := func(cfg config.Core) *stats.Sim {
+		c := core.New(cfg, spec.New())
+		c.WarmCaches()
+		if err := c.Warmup(30000); err != nil {
+			log.Fatal(err)
+		}
+		st, err := c.Run(60000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st
+	}
+
+	base := measure(config.Baseline())
+	rfp := measure(config.Baseline().WithRFP())
+
+	fmt.Printf("workload          %s\n", spec)
+	fmt.Printf("baseline IPC      %.3f\n", base.IPC())
+	fmt.Printf("with RFP IPC      %.3f (%s speedup)\n", rfp.IPC(), stats.Pct(stats.Speedup(base, rfp)))
+	fmt.Printf("RFP coverage      %s of loads served from the register file\n", stats.Pct(rfp.RFPCoverage()))
+	fmt.Printf("RFP wrong         %s of loads re-accessed the L1\n", stats.Pct(rfp.RFPWrongFrac()))
+}

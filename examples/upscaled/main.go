@@ -1,0 +1,66 @@
+// Upscaled evaluates RFP on the paper's futuristic Baseline-2x core
+// (Section 5.1, Figure 12): a 10-wide machine with doubled execution
+// units and L1 bandwidth. It also demonstrates the Figure 14 study —
+// giving RFP dedicated L1 ports instead of leftover bandwidth.
+//
+// Run with:
+//
+//	go run ./examples/upscaled
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rfpsim/internal/config"
+	"rfpsim/internal/core"
+	"rfpsim/internal/stats"
+	"rfpsim/internal/trace"
+)
+
+var workloads = []string{
+	"spec06_sjeng", "spec06_perlbench", "spec17_deepsjeng",
+	"spec17_exchange2", "hadoop", "geekbench_int",
+}
+
+func main() {
+	fmt.Println("RFP scaling with core resources:")
+	fmt.Printf("%-28s %-9s %-9s\n", "configuration", "speedup", "coverage")
+
+	report("baseline + RFP", config.Baseline(), config.Baseline().WithRFP())
+
+	dedicated := config.Baseline().WithRFP()
+	dedicated.RFPDedicatedPorts = dedicated.LoadPorts
+	report("baseline + RFP (ded. ports)", config.Baseline(), dedicated)
+
+	report("baseline-2x + RFP", config.Baseline2x(), config.Baseline2x().WithRFP())
+}
+
+func report(name string, baseCfg, featCfg config.Core) {
+	var sp, cov []float64
+	for _, wname := range workloads {
+		spec, ok := trace.ByName(wname)
+		if !ok {
+			log.Fatalf("workload %s missing", wname)
+		}
+		base := run(baseCfg, spec)
+		feat := run(featCfg, spec)
+		sp = append(sp, stats.Speedup(base, feat))
+		cov = append(cov, feat.RFPCoverage())
+	}
+	fmt.Printf("%-28s %-9s %-9s\n", name,
+		stats.Pct(stats.GeoMeanSpeedup(sp)), stats.Pct(stats.Mean(cov)))
+}
+
+func run(cfg config.Core, spec trace.Spec) *stats.Sim {
+	c := core.New(cfg, spec.New())
+	c.WarmCaches()
+	if err := c.Warmup(20000); err != nil {
+		log.Fatal(err)
+	}
+	st, err := c.Run(40000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return st
+}

@@ -1,0 +1,3 @@
+module rfpsim
+
+go 1.24

@@ -1,0 +1,134 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBaselineValid(t *testing.T) {
+	c := Baseline()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("baseline invalid: %v", err)
+	}
+	if c.Width != 5 {
+		t.Errorf("baseline width = %d, want 5", c.Width)
+	}
+	if c.Mem.L1Latency != 5 {
+		t.Errorf("L1 latency = %d, want 5 (Tiger Lake)", c.Mem.L1Latency)
+	}
+	if c.Mem.MemLatency != 200 {
+		t.Errorf("DRAM latency = %d, want 200", c.Mem.MemLatency)
+	}
+	// 48 KiB L1: 64 sets x 12 ways x 64B.
+	if got := c.Mem.L1Sets * c.Mem.L1Ways * 64; got != 48*1024 {
+		t.Errorf("L1 size = %d bytes, want 48 KiB", got)
+	}
+	if c.RFP.Enabled {
+		t.Error("baseline must not enable RFP by default")
+	}
+}
+
+func TestBaseline2xScaling(t *testing.T) {
+	b, x := Baseline(), Baseline2x()
+	if err := x.Validate(); err != nil {
+		t.Fatalf("baseline-2x invalid: %v", err)
+	}
+	if x.Width != 2*b.Width {
+		t.Errorf("2x width = %d", x.Width)
+	}
+	if x.ROBSize <= b.ROBSize || x.RSSize <= b.RSSize {
+		t.Error("2x windows must grow")
+	}
+	if x.ALUPorts != 2*b.ALUPorts || x.FPPorts != 2*b.FPPorts {
+		t.Error("2x execution units not doubled")
+	}
+	if x.LoadPorts != 2*b.LoadPorts {
+		t.Error("2x L1 bandwidth not increased")
+	}
+	if x.Mem.L1Latency != b.Mem.L1Latency {
+		t.Error("2x must keep cache latencies")
+	}
+}
+
+func TestWithModifiers(t *testing.T) {
+	c := Baseline().WithRFP()
+	if !c.RFP.Enabled {
+		t.Error("WithRFP did not enable RFP")
+	}
+	if !strings.Contains(c.Name, "rfp") {
+		t.Errorf("name %q should mention rfp", c.Name)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("rfp config invalid: %v", err)
+	}
+
+	v := Baseline().WithVP(VPEVES)
+	if v.VP.Mode != VPEVES {
+		t.Error("WithVP did not set mode")
+	}
+	o := Baseline().WithOracle(OracleL1ToRF)
+	if o.Oracle != OracleL1ToRF {
+		t.Error("WithOracle did not set mode")
+	}
+	if !strings.Contains(o.Name, "L1->RF") {
+		t.Errorf("oracle name %q", o.Name)
+	}
+	// Modifiers must not mutate the original.
+	base := Baseline()
+	_ = base.WithRFP()
+	if base.RFP.Enabled {
+		t.Error("WithRFP mutated receiver")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mut := []func(*Core){
+		func(c *Core) { c.Width = 0 },
+		func(c *Core) { c.ROBSize = 0 },
+		func(c *Core) { c.IntPRF = 10 },
+		func(c *Core) { c.LoadPorts = 0 },
+		func(c *Core) { c.Mem.L2Latency = 2 },
+		func(c *Core) { c.Mem.MemLatency = 30 },
+		func(c *Core) { c.RFP.Enabled = true; c.RFP.PTEntries = 0 },
+		func(c *Core) { c.RFP.Enabled = true; c.RFP.ConfidenceBits = 0 },
+		func(c *Core) { c.SchedDepth = 0 },
+	}
+	for i, m := range mut {
+		c := Baseline()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestDefaultRFPParameters(t *testing.T) {
+	r := DefaultRFP()
+	if r.PTEntries != 1024 || r.PTWays != 8 {
+		t.Errorf("PT default %dx%d, want 1024x8", r.PTEntries, r.PTWays)
+	}
+	if r.ConfidenceBits != 1 || r.ConfidenceProb != 16 {
+		t.Error("confidence defaults should be 1 bit, p=1/16")
+	}
+	if r.QueueSize != 64 {
+		t.Errorf("RFP queue = %d, want 64", r.QueueSize)
+	}
+	if !r.PrefetchOnL1Miss || !r.DropOnTLBMiss {
+		t.Error("pipeline simplification defaults wrong")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	modes := []VPMode{VPNone, VPEVES, VPDLVP, VPComposite, VPEPP, VPMode(42)}
+	for _, m := range modes {
+		if m.String() == "" {
+			t.Errorf("empty string for mode %d", int(m))
+		}
+	}
+	oracles := []OracleMode{OracleNone, OracleL1ToRF, OracleL2ToL1, OracleLLCToL2, OracleMemToLLC, OracleMode(42)}
+	for _, o := range oracles {
+		if o.String() == "" {
+			t.Errorf("empty string for oracle %d", int(o))
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"rfpsim/internal/isa"
+	"rfpsim/internal/rfp"
+	"rfpsim/internal/stats"
+)
+
+// commit retires up to Width completed uops in program order, training the
+// retirement-time predictors (the RFP Prefetch Table trains here because
+// program order makes stride detection trivial, §3.1) and validating value
+// predictions. A wrong predicted value flushes everything younger and
+// restarts the frontend after the flush penalty.
+func (c *Core) commit() {
+	n := 0
+	defer func() {
+		// Top-down slot accounting: whatever the loop did not retire this
+		// cycle is charged to the blocking reason at the head.
+		c.st.Slots.Retired += uint64(n)
+		lost := uint64(c.cfg.Width - n)
+		if lost == 0 {
+			return
+		}
+		if c.robCount == 0 {
+			c.st.Slots.StallEmpty += lost
+			return
+		}
+		e := &c.rob[c.robHead]
+		switch {
+		case !e.valid:
+			c.st.Slots.StallEmpty += lost
+		case e.isLoad():
+			c.st.Slots.StallLoad += lost
+		default:
+			c.st.Slots.StallExec += lost
+		}
+	}()
+	for ; n < c.cfg.Width && c.robCount > 0; n++ {
+		e := &c.rob[c.robHead]
+		if !e.valid || !e.issued || e.doneReal > c.cycle || e.execDone > c.cycle {
+			if e.valid && n == 0 {
+				c.blameHeadStall(e)
+			}
+			return
+		}
+
+		// EPP retirement validation: a Store Sequence Bloom Filter hit
+		// (true or false positive) forces the load to re-execute before
+		// it may retire (§2.2).
+		if e.eppPredicted && c.ssbf != nil && c.ssbf.MayConflict(isa.LineAddr(e.op.Addr)) {
+			e.eppPredicted = false
+			e.execDone = c.cycle + c.hier.Latency(stats.LevelL1)
+			c.st.EPPReexecutions++
+			return
+		}
+
+		// Value prediction validation at retirement.
+		if e.vpPredicted && !e.vpFlushed {
+			if e.vpWrong {
+				e.vpFlushed = true
+				c.st.VP.Mispredicted++
+				c.st.VPFlushes++
+				c.flushFrom(1, true) // squash everything younger
+				blocked := c.cycle + uint64(c.cfg.FlushPenalty)
+				if blocked > c.fetchBlockedUntil {
+					c.fetchBlockedUntil = blocked
+				}
+			} else {
+				c.st.VP.Correct++
+			}
+		}
+
+		c.retire(e)
+	}
+}
+
+// blameHeadStall attributes a commit-head stall for criticality training.
+// If the stalled entry is itself an unfinished load, it is critical; if it
+// is waiting on an unfinished source produced by a load (the common case:
+// an ALU consumer heads the ROB while its load crawls through the
+// hierarchy), the blame propagates to that load.
+func (c *Core) blameHeadStall(e *entry) {
+	e.stalledHead = true
+	if c.crit == nil {
+		return
+	}
+	if e.isLoad() {
+		return // marked at its own retirement via stalledHead
+	}
+	for s := 0; s < 2; s++ {
+		if p := c.producerOf(e, s); p != nil && p.isLoad() && p.doneReal > c.cycle {
+			c.crit.MarkCritical(p.op.PC)
+		}
+	}
+}
+
+// retire finalizes the head entry and frees its resources.
+func (c *Core) retire(e *entry) {
+	switch {
+	case e.isLoad():
+		c.st.Loads++
+		c.lqCount--
+		if c.profile != nil {
+			c.profile.record(e)
+		}
+		if c.pf != nil {
+			c.pf.Commit(e.op.PC, e.pathAtDispatch, e.op.Addr)
+		}
+		if c.crit != nil {
+			if e.stalledHead {
+				c.crit.MarkCritical(e.op.PC)
+			} else {
+				c.crit.MarkBenign(e.op.PC)
+			}
+		}
+		if c.eves != nil {
+			c.eves.Train(e.op.PC, e.op.Value)
+		}
+		if c.dlvp != nil {
+			// DLVP predicts at fetch, so it must be trained with the
+			// fetch-time path history or lookups never hit.
+			c.dlvp.TrainAddr(e.op.PC, e.pathAtFetch, e.op.Addr)
+			c.dlvp.TrainFwd(e.op.PC, e.forwarded)
+		}
+	case e.isStore():
+		c.st.Stores++
+		c.sqCount--
+	case e.op.IsBranch():
+		c.st.Branches++
+	}
+	c.releaseDstAtRetire(e)
+	// Release the rename-table mapping if this uop is still the youngest
+	// producer of its destination.
+	if e.op.Dst.Valid() {
+		if p := c.renameTable[e.op.Dst]; p.valid && p.seq == e.op.Seq {
+			c.renameTable[e.op.Dst] = producer{}
+		}
+	}
+	c.tracef("commit    %s", traceUop(&e.op))
+	if c.onRetire != nil {
+		c.onRetire(e)
+	}
+	if c.onCommit != nil {
+		c.onCommit(&e.op)
+	}
+	e.valid = false
+	c.robHead = (c.robHead + 1) % len(c.rob)
+	c.robCount--
+	c.committed++
+}
+
+// flushFrom squashes every in-flight uop from the given ROB offset
+// (inclusive) to the tail, returning their uops — plus everything still in
+// the fetch queue — to the replay buffer in program order. It rebuilds the
+// rename table from the surviving window. Offsets < robCount are required.
+func (c *Core) flushFrom(fromOff int, refetch bool) {
+	if fromOff >= c.robCount {
+		c.requeueFetchQ(nil)
+		return
+	}
+	c.tracef("flush     from-offset=%d squashing=%d", fromOff, c.robCount-fromOff)
+	// Collect squashed uops oldest-first and undo their bookkeeping.
+	squashed := make([]isa.MicroOp, 0, c.robCount-fromOff)
+	firstSeq := uint64(0)
+	for off := fromOff; off < c.robCount; off++ {
+		e := &c.rob[c.robIndex(off)]
+		if !e.valid {
+			continue
+		}
+		if firstSeq == 0 {
+			firstSeq = e.op.Seq
+		}
+		op := e.op
+		op.Seq = 0 // reassigned at re-dispatch
+		squashed = append(squashed, op)
+
+		if e.inRS {
+			c.rsCount--
+		}
+		switch {
+		case e.isLoad():
+			c.lqCount--
+			if e.ptAllocated {
+				c.pf.Squash(e.op.PC)
+			}
+			if e.evesAllocated {
+				c.eves.Squash(e.op.PC)
+			}
+			if e.dlvpAllocated {
+				c.dlvp.Squash(e.op.PC, e.pathAtFetch)
+			}
+		case e.isStore():
+			c.sqCount--
+		}
+	}
+	// Walk the squashed suffix youngest-first to unwind the register
+	// mappings: each entry's own register returns to the free list and
+	// the architectural map rolls back to the previous writer, ending at
+	// the youngest SURVIVING mapping.
+	for off := c.robCount - 1; off >= fromOff; off-- {
+		e := &c.rob[c.robIndex(off)]
+		if !e.valid {
+			continue
+		}
+		c.releaseDstAtSquash(e)
+		if !c.cfg.LateRegAlloc && e.op.Dst.Valid() {
+			c.aratPReg[e.op.Dst] = e.prevPReg
+		}
+		e.valid = false
+	}
+	c.robCount = fromOff
+
+	// Squashed prefetch packets evaporate from the RFP queue.
+	if c.rfpQ != nil && firstSeq != 0 {
+		dropped := c.rfpQ.DropWhere(func(p rfp.Packet) bool {
+			return uint64(p.LoadID) >= firstSeq
+		})
+		c.st.RFP.Dropped += uint64(dropped)
+	}
+
+	// Rebuild the rename table from the surviving suffix.
+	c.renameTable = [isa.NumArchRegs]producer{}
+	for off := 0; off < c.robCount; off++ {
+		e := &c.rob[c.robIndex(off)]
+		if e.valid && e.op.Dst.Valid() {
+			c.renameTable[e.op.Dst] = producer{seq: e.op.Seq, idx: c.robIndex(off), valid: true}
+		}
+	}
+
+	if refetch {
+		c.requeueFetchQ(squashed)
+	}
+
+	// The squashed window may have contained the mispredicted branch that
+	// was blocking fetch; recompute the halt from what survived.
+	c.fetchHalted = false
+	for off := 0; off < c.robCount; off++ {
+		e := &c.rob[c.robIndex(off)]
+		if e.valid && e.op.IsBranch() && e.mispredicted && !e.issued {
+			c.fetchHalted = true
+			break
+		}
+	}
+}
+
+// requeueFetchQ returns squashed ROB uops plus the current fetch queue to
+// the front of the replay buffer, in program order, undoing fetch-time
+// predictor allocations.
+func (c *Core) requeueFetchQ(squashed []isa.MicroOp) {
+	var tail []isa.MicroOp
+	for i := c.fetchHead; i < len(c.fetchQ); i++ {
+		f := &c.fetchQ[i]
+		if f.dlvpPredicted {
+			c.dlvp.Squash(f.op.PC, f.pathAtFetch)
+		}
+		op := f.op
+		op.Seq = 0
+		tail = append(tail, op)
+	}
+	c.fetchQ = c.fetchQ[:0]
+	c.fetchHead = 0
+
+	if len(squashed) == 0 && len(tail) == 0 {
+		return
+	}
+	rest := c.pending[c.pendingHead:]
+	merged := make([]isa.MicroOp, 0, len(squashed)+len(tail)+len(rest))
+	merged = append(merged, squashed...)
+	merged = append(merged, tail...)
+	merged = append(merged, rest...)
+	c.pending = merged
+	c.pendingHead = 0
+}

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"rfpsim/internal/isa"
+	"rfpsim/internal/rfp"
+	"rfpsim/internal/stats"
+)
+
+// issue scans the reservation stations in age order and selects up to
+// IssueWidth ready uops, respecting per-class execution port budgets.
+// Wakeup is speculative (based on predicted completion times); an entry
+// whose sources turn out not to be ready is dropped by the scoreboard and
+// re-issued later, consuming select bandwidth — the replay mechanism of
+// Stark et al. that RFP reuses for its cancel/re-dispatch (§3.3).
+func (c *Core) issue() {
+	slots := c.cfg.IssueWidth
+	for off := 0; off < c.robCount && slots > 0; off++ {
+		e := &c.rob[c.robIndex(off)]
+		if !e.valid || !e.inRS || e.issued {
+			continue
+		}
+		if c.cycle < e.earliestIssue || c.cycle < e.retryAt {
+			continue
+		}
+		// Speculative wakeup: only entries whose sources *claim* to be
+		// ready are selected.
+		if !c.srcReady(e, 0, c.cycle, true) || !c.srcReady(e, 1, c.cycle, true) {
+			continue
+		}
+		// Scoreboard check: a wrongly woken entry (a source's producer
+		// missed its speculative latency) burns the select slot and
+		// retries when the source actually completes.
+		if !c.srcReady(e, 0, c.cycle, false) || !c.srcReady(e, 1, c.cycle, false) {
+			c.st.Replays++
+			r1, r2 := c.srcReadyAt(e, 0), c.srcReadyAt(e, 1)
+			if r2 > r1 {
+				r1 = r2
+			}
+			e.retryAt = r1
+			slots--
+			continue
+		}
+		if c.tryIssue(e, off) {
+			slots--
+		}
+	}
+}
+
+// tryIssue attempts to start execution of e (at ROB offset off) at the
+// current cycle, reporting whether it consumed an issue slot.
+func (c *Core) tryIssue(e *entry, off int) bool {
+	switch e.op.Class {
+	case isa.OpALU, isa.OpMul, isa.OpDiv, isa.OpNop:
+		if c.aluUsed >= c.cfg.ALUPorts || !c.claimDst(e) {
+			return false
+		}
+		c.aluUsed++
+		c.completeAt(e, c.cycle+uint64(e.op.Class.ExecLatency()))
+	case isa.OpFP, isa.OpFMA:
+		if c.fpUsed >= c.cfg.FPPorts || !c.claimDst(e) {
+			return false
+		}
+		c.fpUsed++
+		c.completeAt(e, c.cycle+uint64(e.op.Class.ExecLatency()))
+	case isa.OpBranch:
+		if c.branchUsed >= c.cfg.BranchPorts {
+			return false
+		}
+		c.branchUsed++
+		c.issueBranch(e)
+	case isa.OpStore:
+		if c.storeUsed >= c.cfg.StorePorts {
+			return false
+		}
+		c.storeUsed++
+		c.issueStore(e, off)
+	case isa.OpLoad:
+		return c.issueLoad(e, off)
+	}
+	return true
+}
+
+// claimDst acquires the physical destination register in the late-
+// allocation pipeline variation (§3.3): the register is claimed when the
+// value is produced rather than at rename. Returns false — and arranges a
+// retry — when the file is exhausted; the virtual pointer simply waits.
+func (c *Core) claimDst(e *entry) bool {
+	if !c.cfg.LateRegAlloc || e.prfClaimed || !e.op.Dst.Valid() {
+		return true
+	}
+	if e.op.Dst.IsFP() {
+		if c.fpPRFFree() <= 0 {
+			e.retryAt = c.cycle + 1
+			return false
+		}
+	} else if c.intPRFFree() <= 0 {
+		e.retryAt = c.cycle + 1
+		return false
+	}
+	c.chargePRF(e.op.Dst, +1)
+	e.prfClaimed = true
+	return true
+}
+
+// releaseDstAtRetire frees register file resources when e retires: in
+// free-list mode the PREVIOUS mapping of e's architectural destination dies
+// (no consumer can name it anymore); in the late-allocation variation the
+// produced-value count drops.
+func (c *Core) releaseDstAtRetire(e *entry) {
+	if !e.op.Dst.Valid() {
+		return
+	}
+	if c.cfg.LateRegAlloc {
+		if e.prfClaimed {
+			c.chargePRF(e.op.Dst, -1)
+		}
+		return
+	}
+	c.freePReg(e.op.Dst, e.prevPReg)
+}
+
+// releaseDstAtSquash frees register file resources when e is squashed: its
+// OWN register returns to the free list (the previous mapping is restored
+// by the caller's ARAT walk).
+func (c *Core) releaseDstAtSquash(e *entry) {
+	if !e.op.Dst.Valid() {
+		return
+	}
+	if c.cfg.LateRegAlloc {
+		if e.prfClaimed {
+			c.chargePRF(e.op.Dst, -1)
+		}
+		return
+	}
+	c.freePReg(e.op.Dst, e.pReg)
+}
+
+// completeAt marks e issued with the given completion time.
+func (c *Core) completeAt(e *entry, done uint64) {
+	c.tracef("issue     %s done=%d", traceUop(&e.op), done)
+	e.issued = true
+	e.inRS = false
+	c.rsCount--
+	// VP-predicted loads already published an early completion time for
+	// their dependents; keep it.
+	if !e.vpPredicted {
+		e.doneSpec = done
+		e.doneReal = done
+	}
+	e.execDone = done
+}
+
+// issueBranch resolves a branch: the direction predictor is trained, and a
+// misprediction schedules the frontend redirect that ends the fetch bubble
+// started at fetch time.
+func (c *Core) issueBranch(e *entry) {
+	done := c.cycle + 1
+	c.completeAt(e, done)
+	if e.mispredicted {
+		c.st.BranchMispredicts++
+		// Fetch resumes so the first correct-path uop renames about
+		// MispredictPenalty cycles after resolution.
+		resume := done + uint64(maxInt(0, c.cfg.MispredictPenalty-c.cfg.FrontendLatency))
+		if resume > c.fetchBlockedUntil {
+			c.fetchBlockedUntil = resume
+		}
+		c.fetchHalted = false
+	}
+}
+
+// issueStore computes the store's address, exposing it to younger loads,
+// and checks for memory-ordering violations: a younger load that already
+// executed and read the same word from a stale source must be flushed and
+// re-executed (the store-set predictor is trained so the pair synchronizes
+// in the future).
+func (c *Core) issueStore(e *entry, myOff int) {
+	c.completeAt(e, c.cycle+1)
+	e.addrKnown = true
+	// Stores fill the cache (write-allocate) but do not stall commit;
+	// the access is fired here for cache-content fidelity.
+	c.hier.Access(e.op.Addr, c.cycle, false)
+	if c.ssbf != nil {
+		c.ssbf.InsertStore(isa.LineAddr(e.op.Addr))
+	}
+
+	// Ordering-violation scan over younger loads.
+	for off := myOff + 1; off < c.robCount; off++ {
+		l := &c.rob[c.robIndex(off)]
+		if !l.valid || !l.isLoad() || !l.issued {
+			continue
+		}
+		if !sameWord(l.op.Addr, e.op.Addr) {
+			continue
+		}
+		if l.forwarded && l.forwardedFromSeq > e.op.Seq {
+			continue // data came from a store younger than this one
+		}
+		// Violation: flush from the load (inclusive) and synchronize the
+		// pair in the store-set table.
+		c.st.MemOrderViolations++
+		c.ss.RecordViolation(l.op.PC, e.op.PC)
+		c.flushFrom(off, true)
+		return
+	}
+
+	// Any not-yet-issued load whose prefetch covered this word now holds
+	// stale data in its register; the load will re-look-up the caches
+	// (§3.2.1: no flush needed when the load has not dispatched).
+	for off := myOff + 1; off < c.robCount; off++ {
+		l := &c.rob[c.robIndex(off)]
+		if l.valid && l.isLoad() && !l.issued && l.rfp == rfpExecuted &&
+			sameWord(l.rfpAddr, e.op.Addr) {
+			l.rfpMDStale = true
+		}
+	}
+}
+
+// issueLoad runs the demand-load pipeline: RFP consumption, store-queue
+// disambiguation, forwarding, and the cache access with speculative
+// hit/miss wakeup. Returns whether an issue slot was consumed.
+func (c *Core) issueLoad(e *entry, myOff int) bool {
+	// Late-allocation variation: a load needs its destination entry (the
+	// one its prefetch may already have claimed on its behalf) before it
+	// can produce a value.
+	if !c.claimDst(e) {
+		return false
+	}
+	// --- RFP consumption (§3.3) ---
+	if e.rfp == rfpQueued {
+		// The load beat its own prefetch to the L1: cancel the packet.
+		seq := e.op.Seq
+		c.rfpQ.DropWhere(func(p rfp.Packet) bool { return uint64(p.LoadID) == seq })
+		c.st.RFP.Dropped++
+		e.rfp = rfpDropped
+	}
+	if e.rfp == rfpExecuted {
+		if c.cycle < e.rfpArmedAt {
+			// The RFP-inflight bit is not visible yet: the load cannot
+			// rely on the prefetch and proceeds normally (§3.3); the
+			// prefetched data is dropped.
+			c.st.RFP.Dropped++
+			e.rfp = rfpDropped
+		} else if !e.rfpMDStale && e.rfpAddr == e.op.Addr {
+			c.tracef("rfp-hit   %s fill=%d", traceUop(&e.op), e.rfpFillAt)
+			if c.profile != nil {
+				// Slack >= 0: data arrived at or before issue (the load is
+				// fully hidden); -1: the fill is still in flight (partial).
+				slack := -1
+				if e.rfpFillAt <= c.cycle {
+					slack = int(c.cycle - e.rfpFillAt)
+				}
+				c.profile.RunAhead.Add(slack)
+			}
+			// Correct prefetch: the load consumes the register file data
+			// and bypasses the caches entirely — no L1 port needed.
+			c.st.RFP.Useful++
+			if e.rfpFillAt <= c.cycle {
+				c.st.RFP.FullyHidden++
+			}
+			e.hitLevel = e.rfpLevel
+			c.st.LoadHitLevel[e.rfpLevel]++
+			done := c.cycle + 1
+			if e.rfpFillAt > done {
+				done = e.rfpFillAt
+			}
+			c.completeAt(e, done)
+			return true
+		} else {
+			// Wrong address (or data invalidated by an older store): the
+			// speculatively scheduled dependents are cancelled by the
+			// existing replay machinery and the load re-accesses the
+			// cache below, costing the extra L1 bandwidth the paper
+			// attributes to incorrect prefetches.
+			c.st.RFP.Wrong++
+			e.rfp = rfpDropped
+		}
+	}
+
+	// --- Store-queue disambiguation ---
+	loadSet := c.ss.IDFor(e.op.PC)
+	for off := myOff - 1; off >= 0; off-- {
+		s := &c.rob[c.robIndex(off)]
+		if !s.valid || !s.isStore() {
+			continue
+		}
+		if s.addrKnown {
+			if sameWord(s.op.Addr, e.op.Addr) {
+				// Store-to-load forwarding (needs an AGU/load port).
+				if c.loadUsed >= c.cfg.LoadPorts {
+					e.retryAt = c.cycle + 1
+					return false
+				}
+				c.loadUsed++
+				e.forwarded = true
+				e.forwardedFromSeq = s.op.Seq
+				c.st.StoreForwarded++
+				// A probe-based value prediction read the L1 before this
+				// store's data existed there: the prediction is stale.
+				if e.apPredicted {
+					e.vpWrong = true
+				}
+				e.hitLevel = stats.LevelL1
+				c.st.LoadHitLevel[stats.LevelL1]++
+				c.completeAt(e, c.cycle+c.hier.Latency(stats.LevelL1))
+				return true
+			}
+			continue
+		}
+		// Unresolved older store: the store-set predictor decides whether
+		// to wait (predicted dependence) or speculate past it.
+		if loadSet != -1 && c.ss.IDFor(s.op.PC) == loadSet {
+			e.retryAt = c.cycle + 2 // wait for the store to resolve
+			return false
+		}
+	}
+
+	// --- Cache access with speculative hit/miss wakeup (§2.5) ---
+	if c.loadUsed >= c.cfg.LoadPorts {
+		e.retryAt = c.cycle + 1
+		return false
+	}
+	c.loadUsed++
+	predictedHit := c.hm.Predict(e.op.PC)
+	res := c.hier.Access(e.op.Addr, c.cycle, true)
+	actualHit := levelIsHit(res.Level)
+	c.hm.Update(e.op.PC, actualHit)
+	e.hitLevel = res.Level
+
+	e.issued = true
+	e.inRS = false
+	c.rsCount--
+	e.execDone = res.DoneAt
+	if e.vpPredicted {
+		// Dependents already run on the predicted value; the access
+		// validates it (checked at commit).
+		return true
+	}
+	e.doneReal = res.DoneAt
+	if predictedHit {
+		// Dependents are woken assuming an L1 hit; if wrong they replay.
+		e.doneSpec = c.cycle + c.hier.Latency(stats.LevelL1)
+		if !actualHit {
+			c.st.HitMissMispredicts++
+		}
+	} else {
+		e.doneSpec = res.DoneAt
+	}
+	return true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

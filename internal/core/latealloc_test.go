@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"rfpsim/internal/config"
+	"rfpsim/internal/isa"
+	"rfpsim/internal/trace"
+)
+
+// TestLateRegAllocSemantics: the §3.3 pipeline variation must be
+// timing-only like every other feature.
+func TestLateRegAllocSemantics(t *testing.T) {
+	spec, _ := trace.ByName("spec06_gcc")
+	ref := committedStream(t, config.Baseline(), spec, 10000)
+	late := config.Baseline().WithRFP()
+	late.LateRegAlloc = true
+	late.Name = "late-alloc"
+	got := committedStream(t, late, spec, 10000)
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("late-alloc commit stream diverged at %d", i)
+		}
+	}
+}
+
+// TestLateRegAllocRelievesPRFPressure: with a starved PRF, late allocation
+// must outperform rename-time allocation — the entire point of virtual
+// register pointers: only produced-but-unretired values hold entries.
+func TestLateRegAllocRelievesPRFPressure(t *testing.T) {
+	// DRAM-missing independent loads with long ALU tails: rename-time
+	// allocation burns registers on uops that wait hundreds of cycles.
+	body := []isa.MicroOp{
+		ld(0x10, 1, isa.NoReg, 0x1000000),
+		alu(0x14, 2, 1, isa.NoReg),
+		alu(0x18, 3, 2, isa.NoReg),
+		alu(0x1c, 4, 3, isa.NoReg),
+		alu(0x20, 5, 4, isa.NoReg),
+	}
+	mk := func() *loopGen {
+		return &loopGen{name: "prf", body: body, strides: []int64{64, 0, 0, 0, 0}, wrap: 32 << 20}
+	}
+	early := config.Baseline()
+	early.IntPRF = 64
+	late := early
+	late.LateRegAlloc = true
+	late.Name = "late"
+	stEarly := run(t, early, mk(), 8000)
+	stLate := run(t, late, mk(), 8000)
+	if stLate.IPC() <= stEarly.IPC() {
+		t.Errorf("late allocation did not relieve PRF pressure: %.3f vs %.3f",
+			stLate.IPC(), stEarly.IPC())
+	}
+}
+
+// TestLateRegAllocNoPressureIsNeutral: with an ample PRF the variation
+// must be performance-neutral (within a small tolerance from retry
+// timing).
+func TestLateRegAllocNoPressureIsNeutral(t *testing.T) {
+	spec, _ := trace.ByName("spec06_hmmer")
+	base := config.Baseline()
+	late := config.Baseline()
+	late.LateRegAlloc = true
+	late.Name = "late"
+	mkRun := func(cfg config.Core) float64 {
+		c := New(cfg, spec.New())
+		c.WarmCaches()
+		if err := c.Warmup(10000); err != nil {
+			t.Fatal(err)
+		}
+		st, err := c.Run(20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.IPC()
+	}
+	a, b := mkRun(base), mkRun(late)
+	if b < 0.97*a || b > 1.03*a {
+		t.Errorf("late allocation not neutral without pressure: %.3f vs %.3f", b, a)
+	}
+}

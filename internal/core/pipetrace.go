@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"rfpsim/internal/isa"
+)
+
+// pipeTrace streams human-readable pipeline events for a cycle window —
+// the tool used to answer "what exactly happened to this load?" when
+// debugging RFP timing. One line per event:
+//
+//	cycle 1042 dispatch  seq=87 pc=0x20004 load addr=0x8000040
+//	cycle 1042 rfp-exec  seq=87 addr=0x8000040 fill=1047 armed=1044
+//	cycle 1045 issue     seq=87 pc=0x20004 load
+//	cycle 1046 commit    seq=85 pc=0x20008 alu
+type pipeTrace struct {
+	w          io.Writer
+	from, to   uint64
+	eventCount uint64
+}
+
+// AttachPipeTrace streams pipeline events for cycles in [from, to) to w.
+// Pass from=0, to=^uint64(0) for an unbounded trace; nil w detaches.
+func (c *Core) AttachPipeTrace(w io.Writer, from, to uint64) {
+	if w == nil {
+		c.pipe = nil
+		return
+	}
+	c.pipe = &pipeTrace{w: w, from: from, to: to}
+}
+
+// PipeTraceEvents returns the number of events emitted so far.
+func (c *Core) PipeTraceEvents() uint64 {
+	if c.pipe == nil {
+		return 0
+	}
+	return c.pipe.eventCount
+}
+
+// tracef emits one event line when tracing is active for this cycle.
+func (c *Core) tracef(format string, args ...interface{}) {
+	if c.pipe == nil || c.cycle < c.pipe.from || c.cycle >= c.pipe.to {
+		return
+	}
+	c.pipe.eventCount++
+	fmt.Fprintf(c.pipe.w, "cycle %d ", c.cycle)
+	fmt.Fprintf(c.pipe.w, format, args...)
+	io.WriteString(c.pipe.w, "\n")
+}
+
+// traceUop renders the identity of a uop for event lines.
+func traceUop(op *isa.MicroOp) string {
+	switch {
+	case op.IsLoad():
+		return fmt.Sprintf("seq=%d pc=%#x load addr=%#x", op.Seq, op.PC, op.Addr)
+	case op.IsStore():
+		return fmt.Sprintf("seq=%d pc=%#x store addr=%#x", op.Seq, op.PC, op.Addr)
+	case op.IsBranch():
+		return fmt.Sprintf("seq=%d pc=%#x branch taken=%v", op.Seq, op.PC, op.Taken)
+	default:
+		return fmt.Sprintf("seq=%d pc=%#x %s", op.Seq, op.PC, op.Class)
+	}
+}

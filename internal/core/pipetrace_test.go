@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rfpsim/internal/config"
+	"rfpsim/internal/trace"
+)
+
+func TestPipeTraceEmitsEvents(t *testing.T) {
+	spec, _ := trace.ByName("spec06_hmmer")
+	c := New(config.Baseline().WithRFP(), spec.New())
+	c.WarmCaches()
+	var buf bytes.Buffer
+	c.AttachPipeTrace(&buf, 100, 300)
+	if _, err := c.Run(5000); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dispatch", "issue", "commit", "cycle "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q events:\n%s", want, firstLines(out, 5))
+		}
+	}
+	if c.PipeTraceEvents() == 0 {
+		t.Error("event counter zero")
+	}
+	// Every line must carry a cycle stamp inside the window.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "cycle ") {
+			t.Fatalf("malformed trace line %q", line)
+		}
+	}
+}
+
+func TestPipeTraceWindowBounds(t *testing.T) {
+	spec, _ := trace.ByName("spec06_hmmer")
+	c := New(config.Baseline(), spec.New())
+	var buf bytes.Buffer
+	c.AttachPipeTrace(&buf, 1<<40, 1<<41) // far future: nothing emitted
+	if _, err := c.Run(3000); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("events emitted outside window:\n%s", firstLines(buf.String(), 3))
+	}
+	c.AttachPipeTrace(nil, 0, 0) // detach must not panic
+	if _, err := c.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipeTraceShowsRFPEvents(t *testing.T) {
+	spec, _ := trace.ByName("spec06_hmmer")
+	c := New(config.Baseline().WithRFP(), spec.New())
+	c.WarmCaches()
+	if err := c.Warmup(10000); err != nil { // let the PT gain confidence
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	c.AttachPipeTrace(&buf, c.Cycle(), c.Cycle()+2000)
+	if _, err := c.Run(4000); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "rfp-exec") {
+		t.Error("no rfp-exec events on a stream workload")
+	}
+	if !strings.Contains(out, "rfp-hit") {
+		t.Error("no rfp-hit events on a stream workload")
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

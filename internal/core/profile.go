@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rfpsim/internal/stats"
+)
+
+// PCProfile accumulates per-static-load statistics when profiling is
+// enabled — the "which loads matter" view used to study coverage and
+// criticality at instruction granularity (the paper's Figure 11 discussion
+// of criticality outliers is about exactly this).
+type PCProfile struct {
+	pcs map[uint64]*PCStats
+	// RunAhead is the distribution of how many cycles before the load's
+	// issue its prefetch data arrived (0 = arrived exactly at issue or
+	// later; larger = more slack). The §5.2.2 fully/partially-hidden
+	// split is the mass above/at zero of this distribution.
+	RunAhead *stats.Distribution
+}
+
+// PCStats is one static load's profile.
+type PCStats struct {
+	// PC is the static program counter.
+	PC uint64
+	// Count is the number of committed instances.
+	Count uint64
+	// Covered counts instances served by a correct RFP prefetch.
+	Covered uint64
+	// Wrong counts instances whose prefetch had the wrong address.
+	Wrong uint64
+	// Forwarded counts store-forwarded instances.
+	Forwarded uint64
+	// HeadStalls counts instances that blocked the commit head.
+	HeadStalls uint64
+	// LevelCounts histograms the hit levels.
+	LevelCounts [stats.NumLevels]uint64
+}
+
+// Coverage returns the fraction of instances covered by RFP.
+func (p *PCStats) Coverage() float64 {
+	if p.Count == 0 {
+		return 0
+	}
+	return float64(p.Covered) / float64(p.Count)
+}
+
+// EnableProfile turns on per-PC load profiling (a simulation-speed cost;
+// off by default).
+func (c *Core) EnableProfile() {
+	c.profile = &PCProfile{
+		pcs:      make(map[uint64]*PCStats),
+		RunAhead: stats.NewDistribution(),
+	}
+}
+
+// Profile returns the accumulated per-PC profile (nil unless enabled).
+func (c *Core) Profile() *PCProfile { return c.profile }
+
+// record accumulates one retired load.
+func (p *PCProfile) record(e *entry) {
+	s := p.pcs[e.op.PC]
+	if s == nil {
+		s = &PCStats{PC: e.op.PC}
+		p.pcs[e.op.PC] = s
+	}
+	s.Count++
+	if e.rfp == rfpExecuted && !e.rfpMDStale && e.rfpAddr == e.op.Addr && e.issued {
+		// Covered is precisely the Useful condition at issue; the issue
+		// path downgraded non-useful prefetches to rfpDropped, so any
+		// surviving rfpExecuted here was consumed.
+		s.Covered++
+	}
+	if e.rfp == rfpDropped && e.rfpAddr != 0 && e.rfpAddr != e.op.Addr {
+		s.Wrong++
+	}
+	if e.forwarded {
+		s.Forwarded++
+	}
+	if e.stalledHead {
+		s.HeadStalls++
+	}
+	if e.hitLevel >= 0 && e.hitLevel < stats.NumLevels {
+		s.LevelCounts[e.hitLevel]++
+	}
+}
+
+// Top returns the n hottest load PCs by dynamic count.
+func (p *PCProfile) Top(n int) []*PCStats {
+	out := make([]*PCStats, 0, len(p.pcs))
+	for _, s := range p.pcs {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].PC < out[j].PC
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// String renders the top-15 table.
+func (p *PCProfile) String() string {
+	tb := stats.NewTable("Load PC", "Count", "Coverage", "Wrong", "Fwd", "HeadStalls", "L1%")
+	for _, s := range p.Top(15) {
+		l1 := 0.0
+		if s.Count > 0 {
+			l1 = float64(s.LevelCounts[stats.LevelL1]) / float64(s.Count)
+		}
+		tb.AddRow(fmt.Sprintf("%#x", s.PC),
+			fmt.Sprint(s.Count),
+			stats.Pct(s.Coverage()),
+			fmt.Sprint(s.Wrong),
+			fmt.Sprint(s.Forwarded),
+			fmt.Sprint(s.HeadStalls),
+			stats.Pct(l1))
+	}
+	return strings.TrimRight(tb.String(), "\n")
+}

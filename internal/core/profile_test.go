@@ -1,0 +1,128 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rfpsim/internal/config"
+	"rfpsim/internal/trace"
+)
+
+func TestProfileAccumulatesPerPC(t *testing.T) {
+	spec, _ := trace.ByName("spec06_xalancbmk")
+	c := New(config.Baseline().WithRFP(), spec.New())
+	c.WarmCaches()
+	c.EnableProfile()
+	st, err := c.Run(30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Profile()
+	if p == nil {
+		t.Fatal("profile not enabled")
+	}
+	top := p.Top(100)
+	if len(top) == 0 {
+		t.Fatal("no load PCs profiled")
+	}
+	var total, covered uint64
+	for _, s := range top {
+		total += s.Count
+		covered += s.Covered
+		if s.Covered > s.Count || s.Forwarded > s.Count {
+			t.Fatalf("pc %#x: impossible counts %+v", s.PC, s)
+		}
+	}
+	if total != st.Loads {
+		t.Errorf("profile total %d != committed loads %d", total, st.Loads)
+	}
+	// RFP.Useful counts issue-time events, including loads that consumed
+	// a prefetch and were then squashed by a flush (their replay retires
+	// without one); the retirement-state profile therefore reads equal or
+	// slightly lower.
+	if covered > st.RFP.Useful || float64(covered) < 0.95*float64(st.RFP.Useful) {
+		t.Errorf("profile covered %d vs RFP useful %d: outside the squash slack", covered, st.RFP.Useful)
+	}
+	// Top must be sorted by count.
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Fatal("Top not sorted")
+		}
+	}
+	if !strings.Contains(p.String(), "Load PC") {
+		t.Error("String() malformed")
+	}
+}
+
+func TestProfileDisabledByDefault(t *testing.T) {
+	spec, _ := trace.ByName("spec06_hmmer")
+	c := New(config.Baseline(), spec.New())
+	if _, err := c.Run(2000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Profile() != nil {
+		t.Error("profile allocated without EnableProfile")
+	}
+}
+
+func TestProfileCoverageMatchesChaseExpectation(t *testing.T) {
+	// The chase kernel's load PC (slot 0 of its region) must show high
+	// coverage; the hash kernel's load must show ~none.
+	spec, _ := trace.ByName("spec06_xalancbmk")
+	c := New(config.Baseline().WithRFP(), spec.New())
+	c.WarmCaches()
+	c.EnableProfile()
+	if err := c.Warmup(20000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(30000); err != nil {
+		t.Fatal(err)
+	}
+	var best, worst float64 = 0, 1
+	for _, s := range c.Profile().Top(20) {
+		if s.Count < 200 {
+			continue
+		}
+		if cov := s.Coverage(); cov > best {
+			best = cov
+		} else if cov < worst {
+			worst = cov
+		}
+	}
+	if best < 0.5 {
+		t.Errorf("no hot load above 50%% coverage (best %.2f)", best)
+	}
+	if worst > 0.2 {
+		t.Errorf("no hot uncoverable load found (worst %.2f)", worst)
+	}
+}
+
+func TestRunAheadDistribution(t *testing.T) {
+	spec, _ := trace.ByName("spec06_hmmer")
+	c := New(config.Baseline().WithRFP(), spec.New())
+	c.WarmCaches()
+	c.EnableProfile()
+	if err := c.Warmup(10000); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Run(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Profile().RunAhead
+	if d.Total() != st.RFP.Useful {
+		t.Errorf("run-ahead samples %d != useful prefetches %d", d.Total(), st.RFP.Useful)
+	}
+	// The mass at slack >= 0 is exactly the fully-hidden count (-1 marks
+	// fills still in flight at issue).
+	hidden := 0.0
+	for _, k := range d.Keys() {
+		if k >= 0 {
+			hidden += d.Frac(k)
+		}
+	}
+	got := uint64(hidden*float64(d.Total()) + 0.5)
+	if got != st.RFP.FullyHidden {
+		t.Errorf("run-ahead >=0 mass %d vs fully hidden %d", got, st.RFP.FullyHidden)
+	}
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"testing"
+
+	"rfpsim/internal/config"
+	"rfpsim/internal/isa"
+	"rfpsim/internal/stats"
+)
+
+// TestLoadPortLimitBoundsThroughput saturates the machine with independent
+// loads: committed loads per cycle can never exceed the configured port
+// count.
+func TestLoadPortLimitBoundsThroughput(t *testing.T) {
+	body := []isa.MicroOp{
+		ld(0x10, 1, isa.NoReg, 0x8000),
+		ld(0x14, 2, isa.NoReg, 0x8040),
+		ld(0x18, 3, isa.NoReg, 0x8080),
+		ld(0x1c, 4, isa.NoReg, 0x80c0),
+	}
+	for _, ports := range []int{1, 2} {
+		cfg := config.Baseline()
+		cfg.LoadPorts = ports
+		st := run(t, cfg, &loopGen{name: "loads", body: body}, 20000)
+		perCycle := float64(st.Loads) / float64(st.Cycles)
+		if perCycle > float64(ports)*1.01 {
+			t.Errorf("ports=%d: %.2f loads/cycle exceeds the port limit", ports, perCycle)
+		}
+		if perCycle < float64(ports)*0.85 {
+			t.Errorf("ports=%d: %.2f loads/cycle badly underutilizes the ports", ports, perCycle)
+		}
+	}
+}
+
+// TestFPPortLimit saturates with independent FP ops.
+func TestFPPortLimit(t *testing.T) {
+	body := []isa.MicroOp{
+		{PC: 0x10, Class: isa.OpFP, Dst: isa.FirstFPReg, Src1: isa.NoReg, Src2: isa.NoReg},
+		{PC: 0x14, Class: isa.OpFP, Dst: isa.FirstFPReg + 1, Src1: isa.NoReg, Src2: isa.NoReg},
+		{PC: 0x18, Class: isa.OpFP, Dst: isa.FirstFPReg + 2, Src1: isa.NoReg, Src2: isa.NoReg},
+		{PC: 0x1c, Class: isa.OpFP, Dst: isa.FirstFPReg + 3, Src1: isa.NoReg, Src2: isa.NoReg},
+	}
+	cfg := config.Baseline()
+	cfg.FPPorts = 2
+	st := run(t, cfg, &loopGen{name: "fp", body: body}, 20000)
+	if ipc := st.IPC(); ipc > 2.05 {
+		t.Errorf("FP IPC %.2f exceeds 2 FP ports", ipc)
+	}
+}
+
+// TestStorePortLimit saturates with independent stores.
+func TestStorePortLimit(t *testing.T) {
+	body := []isa.MicroOp{
+		st8(0x10, isa.NoReg, 1, 0x9000),
+		st8(0x14, isa.NoReg, 2, 0x9040),
+	}
+	st := run(t, config.Baseline(), &loopGen{name: "stores", body: body}, 20000)
+	perCycle := float64(st.Stores) / float64(st.Cycles)
+	if perCycle > 1.01 { // baseline has 1 store port
+		t.Errorf("%.2f stores/cycle exceeds 1 store port", perCycle)
+	}
+}
+
+// TestDivLatencyIsLong serial divides run at ~1/18 IPC.
+func TestDivLatencyIsLong(t *testing.T) {
+	body := []isa.MicroOp{{PC: 0x10, Class: isa.OpDiv, Dst: 1, Src1: 1, Src2: isa.NoReg}}
+	st := run(t, config.Baseline(), &loopGen{name: "div", body: body}, 5000)
+	want := 1.0 / float64(isa.OpDiv.ExecLatency())
+	if ipc := st.IPC(); ipc > want*1.1 || ipc < want*0.85 {
+		t.Errorf("serial divide IPC = %.4f, want ~%.4f", ipc, want)
+	}
+}
+
+// TestPRFPressureStallsDispatch shrinks the PRF until it, not the ROB,
+// gates the window; the machine must still run correctly (covered by the
+// commit-order test) and visibly slower.
+func TestPRFPressureStallsDispatch(t *testing.T) {
+	// Independent DRAM-missing loads need a deep window for memory-level
+	// parallelism; starving the rename registers collapses the MLP. Each
+	// iteration consumes five destination registers so a 32-register
+	// rename pool caps the window at ~6 iterations (vs 16 MSHRs' worth
+	// with a full PRF).
+	body := []isa.MicroOp{
+		ld(0x10, 1, isa.NoReg, 0x1000000),
+		alu(0x14, 2, 1, isa.NoReg),
+		alu(0x18, 3, 2, isa.NoReg),
+		alu(0x1c, 4, 3, isa.NoReg),
+		alu(0x20, 5, 4, isa.NoReg),
+	}
+	mk := func() *loopGen {
+		return &loopGen{name: "prf", body: body, strides: []int64{64, 0, 0, 0, 0}, wrap: 32 << 20}
+	}
+	wide := config.Baseline()
+	tight := config.Baseline()
+	tight.IntPRF = 64 // minimum the config allows: 32 rename registers
+	stWide := run(t, wide, mk(), 8000)
+	stTight := run(t, tight, mk(), 8000)
+	if stTight.IPC() > 0.75*stWide.IPC() {
+		t.Errorf("PRF pressure did not collapse MLP: %.3f vs %.3f",
+			stTight.IPC(), stWide.IPC())
+	}
+}
+
+// TestOracleMiddleLevels verifies the two middle oracle modes shorten the
+// right accesses: an L2-resident pointer chase speeds up under the L2->L1
+// oracle but not under Mem->LLC.
+func TestOracleMiddleLevels(t *testing.T) {
+	// Chase across 256KB (L2-resident once warmed), serial. The first
+	// pass over the footprint is cold, so it runs inside a discarded
+	// warmup window covering a bit more than one full wrap (4096
+	// iterations of 2 uops).
+	measure := func(cfg config.Core) *stats.Sim {
+		g := &loopGen{
+			name:    "l2chase",
+			body:    []isa.MicroOp{ld(0x10, 1, 1, 0x100000), alu(0x14, 2, 1, isa.NoReg)},
+			strides: []int64{64, 0},
+			wrap:    256 << 10,
+		}
+		c := New(cfg, g)
+		if err := c.Warmup(10000); err != nil {
+			t.Fatal(err)
+		}
+		st, err := c.Run(8000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	base := measure(config.Baseline())
+	l2 := measure(config.Baseline().WithOracle(config.OracleL2ToL1))
+	mem := measure(config.Baseline().WithOracle(config.OracleMemToLLC))
+	if base.LoadLevelFrac(stats.LevelL2) < 0.5 {
+		t.Fatalf("chase not L2-resident after warmup: %.2f", base.LoadLevelFrac(stats.LevelL2))
+	}
+	if stats.Speedup(base, l2) < 0.2 {
+		t.Errorf("L2->L1 oracle speedup %.3f on an L2-resident chase", stats.Speedup(base, l2))
+	}
+	if s := stats.Speedup(base, mem); s > 0.05 {
+		t.Errorf("Mem->LLC oracle gained %.3f on a DRAM-free workload", s)
+	}
+}
+
+// TestRFPDedicatedPortsNeverHurt adds dedicated RFP ports; speedup must be
+// >= the shared configuration on a port-hungry workload.
+func TestRFPDedicatedPortsNeverHurt(t *testing.T) {
+	body := []isa.MicroOp{
+		ld(0x10, 1, isa.NoReg, 0x8000),
+		ld(0x14, 2, isa.NoReg, 0xA000),
+		ld(0x18, 3, 3, 0xC000),
+		alu(0x1c, 4, 3, isa.NoReg),
+	}
+	mk := func() *loopGen {
+		return &loopGen{name: "hungry", body: body, strides: []int64{8, 8, 8, 0}, wrap: 8 << 10}
+	}
+	shared := config.Baseline().WithRFP()
+	dedicated := config.Baseline().WithRFP()
+	dedicated.RFPDedicatedPorts = 2
+	stShared := run(t, shared, mk(), 20000)
+	stDed := run(t, dedicated, mk(), 20000)
+	if stDed.IPC() < 0.99*stShared.IPC() {
+		t.Errorf("dedicated ports slowed the machine: %.3f vs %.3f", stDed.IPC(), stShared.IPC())
+	}
+	if stDed.RFP.Executed < stShared.RFP.Executed {
+		t.Errorf("dedicated ports executed fewer prefetches: %d vs %d",
+			stDed.RFP.Executed, stShared.RFP.Executed)
+	}
+}
+
+// TestHitMissMispredictCausesReplays forces an alternating hit/miss load
+// and checks replays are charged.
+func TestHitMissMispredictCausesReplays(t *testing.T) {
+	// A load striding through 8 MiB misses often; its dependent must
+	// replay when the hit prediction was wrong.
+	body := []isa.MicroOp{
+		ld(0x10, 1, isa.NoReg, 0x100000),
+		alu(0x14, 2, 1, isa.NoReg),
+	}
+	g := &loopGen{name: "missy", body: body, strides: []int64{64, 0}, wrap: 8 << 20}
+	st := run(t, config.Baseline(), g, 20000)
+	if st.HitMissMispredicts == 0 {
+		t.Fatal("no hit-miss mispredicts on a missing stream")
+	}
+	if st.Replays == 0 {
+		t.Error("hit-miss mispredicts produced no replays")
+	}
+}
+
+// TestWideMachineRetiresFullWidth checks the 2x machine can actually
+// sustain close to its commit width on embarrassingly parallel work.
+func TestWideMachineRetiresFullWidth(t *testing.T) {
+	var body []isa.MicroOp
+	for i := 0; i < 10; i++ {
+		body = append(body, alu(uint64(0x10+4*i), isa.RegID(1+i), isa.RegID(1+i), isa.NoReg))
+	}
+	st := run(t, config.Baseline2x(), &loopGen{name: "wide", body: body}, 50000)
+	if ipc := st.IPC(); ipc < 7.2 {
+		t.Errorf("2x machine IPC = %.2f on independent ALU chains, want near 8 (ALU ports)", ipc)
+	}
+}
+
+// TestPRFConservation: after draining the pipeline (no uops in flight),
+// every rename register must be back on its free list and the
+// architectural map must hold exactly the architectural state — the
+// register-file conservation law, checked across flush-heavy runs.
+func TestPRFConservation(t *testing.T) {
+	cfgs := []config.Core{
+		config.Baseline(),
+		config.Baseline().WithRFP(),
+		config.Baseline().WithVP(config.VPEVES).WithRFP(),
+	}
+	for _, cfg := range cfgs {
+		cfg.VP.ConfMax = 1 // provoke flushes in the VP config
+		cfg.VP.ConfProb = 1
+		c := New(cfg, newRandMemGen(13))
+		if _, err := c.Run(25000); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		// Drain: stop fetching and let the window empty.
+		c.genDone = true
+		for i := 0; i < 5000 && c.robCount > 0; i++ {
+			c.step()
+		}
+		if c.robCount != 0 {
+			t.Fatalf("%s: window failed to drain", cfg.Name)
+		}
+		if got, want := len(c.freeInt), cfg.IntPRF-isa.NumIntRegs; got != want {
+			t.Errorf("%s: int free list %d, want %d (leak or double-free)", cfg.Name, got, want)
+		}
+		if got, want := len(c.freeFP), cfg.FPPRF-isa.NumFPRegs; got != want {
+			t.Errorf("%s: fp free list %d, want %d", cfg.Name, got, want)
+		}
+		// No register may appear twice across the free list + ARAT.
+		seen := map[int32]bool{}
+		for _, p := range c.freeInt {
+			if seen[p] {
+				t.Fatalf("%s: int preg %d duplicated", cfg.Name, p)
+			}
+			seen[p] = true
+		}
+		for r := isa.RegID(0); r < isa.FirstFPReg; r++ {
+			p := c.aratPReg[r]
+			if seen[p] {
+				t.Fatalf("%s: int preg %d both mapped and free", cfg.Name, p)
+			}
+			seen[p] = true
+		}
+		if len(seen) != cfg.IntPRF {
+			t.Errorf("%s: %d of %d int pregs accounted for", cfg.Name, len(seen), cfg.IntPRF)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"rfpsim/internal/stats"
+)
+
+// rfpArbitrate drains the RFP queue onto whatever L1 load ports demand
+// loads left free this cycle (plus any ports dedicated to RFP in the
+// Figure 14 study). Requests are served oldest-first; the queue has the
+// lowest priority at the L1 so baseline load latency is never hurt (§3.2).
+//
+// A granted request walks the same pipeline a load would: DTLB, older-store
+// scan with memory disambiguation, then the L1 lookup. The RFP-inflight bit
+// becomes visible to the scheduler SchedDepth cycles before the data lands
+// in the register file — equal to the wakeup/select/register-read depth, so
+// a load that observes the bit at wakeup has its dependents arrive exactly
+// when the data does (§3.3).
+func (c *Core) rfpArbitrate() {
+	if c.rfpQ == nil {
+		return
+	}
+	free := c.cfg.LoadPorts - c.loadUsed + c.cfg.RFPDedicatedPorts
+	if c.rfpQ.Len() > 0 && free <= 0 {
+		c.st.RFP.PortConflicts++
+	}
+	for free > 0 {
+		pkt, ok := c.rfpQ.Peek()
+		if !ok {
+			return
+		}
+		e := &c.rob[pkt.Slot]
+		if !e.valid || e.op.Seq != uint64(pkt.LoadID) || e.rfp != rfpQueued {
+			// The load issued, committed or was squashed meanwhile; the
+			// packet is stale. (Drop accounting happened at that event.)
+			c.rfpQ.Pop()
+			continue
+		}
+
+		// Lowest priority extends to miss resources: if serving this
+		// prefetch would need the last MSHR, it waits so demand misses
+		// are never starved.
+		if !c.hier.MSHRAvailable(pkt.Addr, c.cycle) {
+			c.st.RFP.PortConflicts++
+			return
+		}
+
+		// DTLB-miss drop (§3.2.2): a page walk would eat the whole
+		// run-ahead, so the prefetch is abandoned before taking a port.
+		if c.cfg.RFP.DropOnTLBMiss && !c.hier.TLBCovers(pkt.Addr) {
+			c.rfpQ.Pop()
+			e.rfp = rfpDropped
+			c.st.RFP.Dropped++
+			c.st.RFP.DroppedTLBMiss++
+			continue
+		}
+
+		// Older-store scan with the predicted address (§3.2.1): the
+		// prefetch is a proxy for the load, so it performs the same
+		// memory disambiguation the load would.
+		myOff := (pkt.Slot - c.robHead + len(c.rob)) % len(c.rob)
+		action, fwdFrom := c.rfpScanStores(e, myOff, pkt.Addr)
+		switch action {
+		case rfpScanWait:
+			// An unresolved same-store-set store blocks the request;
+			// FIFO order makes this head-of-line blocking, as in the
+			// real queue.
+			return
+		case rfpScanForward:
+			// The up-to-date data comes from the store queue entry.
+			c.rfpQ.Pop()
+			free--
+			e.rfp = rfpExecuted
+			e.rfpAddr = pkt.Addr
+			e.rfpFillAt = c.cycle + 1
+			e.rfpArmedAt = c.cycle + 1
+			e.rfpLevel = stats.LevelL1
+			e.forwardedFromSeq = fwdFrom
+			c.st.RFP.Executed++
+			continue
+		}
+
+		// L1 lookup. Optionally drop requests that miss the L1 (§5.5.5
+		// sensitivity: serving misses is worth only ~0.02%).
+		if !c.cfg.RFP.PrefetchOnL1Miss && !c.hier.L1Contains(pkt.Addr) {
+			c.rfpQ.Pop()
+			free--
+			e.rfp = rfpDropped
+			c.st.RFP.Dropped++
+			continue
+		}
+		res := c.hier.Access(pkt.Addr, c.cycle, false)
+		c.rfpQ.Pop()
+		free--
+		e.rfp = rfpExecuted
+		e.rfpAddr = pkt.Addr
+		e.rfpFillAt = res.DoneAt
+		// The RFP-inflight bit is set in the first L1-lookup cycle, one
+		// address-calculation stage after the port grant — for hits this
+		// is exactly SchedDepth cycles before the data lands (§3.3); for
+		// misses the bit is set at the same early point and the load's
+		// dependents simply align to the later fill (§3.2.2).
+		e.rfpArmedAt = c.cycle + 2
+		if res.Level != stats.LevelL1 {
+			c.st.RFP.L1Misses++
+		}
+		e.rfpLevel = res.Level
+		c.st.RFP.Executed++
+		c.tracef("rfp-exec  seq=%d addr=%#x fill=%d armed=%d level=%s",
+			e.op.Seq, pkt.Addr, e.rfpFillAt, e.rfpArmedAt, stats.LevelName(res.Level))
+	}
+}
+
+// rfpScan results.
+const (
+	rfpScanClear   = iota // no conflicting older store: go to the L1
+	rfpScanWait           // unresolved same-set store: wait for it
+	rfpScanForward        // resolved older store covers the word: take its data
+)
+
+// rfpScanStores performs the §3.2.1 older-store scan for a prefetch to
+// addr on behalf of load e at ROB offset myOff (youngest-first, like the
+// LSQ CAM).
+func (c *Core) rfpScanStores(e *entry, myOff int, addr uint64) (action int, fwdFromSeq uint64) {
+	loadSet := c.ss.IDFor(e.op.PC)
+	for off := myOff - 1; off >= 0; off-- {
+		s := &c.rob[c.robIndex(off)]
+		if !s.valid || !s.isStore() {
+			continue
+		}
+		if s.addrKnown {
+			if sameWord(s.op.Addr, addr) {
+				return rfpScanForward, s.op.Seq
+			}
+			continue
+		}
+		// Unresolved store: the memory-dependence predictor decides
+		// whether the prefetch waits or speculates past it (a wrong
+		// "skip" is caught by issueStore marking the prefetch stale —
+		// no flush, per §3.2.1, because the load has not dispatched).
+		if loadSet != -1 && c.ss.IDFor(s.op.PC) == loadSet {
+			return rfpScanWait, 0
+		}
+	}
+	return rfpScanClear, 0
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+
+	"rfpsim/internal/config"
+	"rfpsim/internal/isa"
+	"rfpsim/internal/trace"
+)
+
+// commitRecord captures the architectural essence of a retired uop.
+type commitRecord struct {
+	pc    uint64
+	class isa.OpClass
+	addr  uint64
+	dst   isa.RegID
+	taken bool
+}
+
+// committedStream runs n uops of a workload on cfg and returns the retired
+// uop stream.
+func committedStream(t *testing.T, cfg config.Core, spec trace.Spec, n uint64) []commitRecord {
+	t.Helper()
+	c := New(cfg, spec.New())
+	var out []commitRecord
+	c.OnCommit(func(op *isa.MicroOp) {
+		out = append(out, commitRecord{
+			pc: op.PC, class: op.Class, addr: op.Addr, dst: op.Dst, taken: op.Taken,
+		})
+	})
+	if _, err := c.Run(n); err != nil {
+		t.Fatalf("%s on %s: %v", spec.Name, cfg.Name, err)
+	}
+	return out
+}
+
+// TestSpeculationFeaturesAreTimingOnly is the strongest end-to-end
+// correctness property the model has: RFP, value prediction and oracle
+// prefetching may change WHEN instructions retire, never WHAT retires. A
+// feature that flushed the wrong range, dropped a replayed uop or reordered
+// commits would diverge here.
+func TestSpeculationFeaturesAreTimingOnly(t *testing.T) {
+	const n = 12000
+	workloads := []string{"spec06_xalancbmk", "spec06_perlbench", "spec06_mcf", "spark"}
+	features := []config.Core{
+		config.Baseline().WithRFP(),
+		config.Baseline().WithVP(config.VPEVES),
+		config.Baseline().WithVP(config.VPDLVP),
+		config.Baseline().WithVP(config.VPComposite),
+		config.Baseline().WithVP(config.VPEPP),
+		config.Baseline().WithVP(config.VPEVES).WithRFP(),
+		config.Baseline().WithOracle(config.OracleL1ToRF),
+	}
+	for _, name := range workloads {
+		spec, ok := trace.ByName(name)
+		if !ok {
+			t.Fatalf("missing workload %s", name)
+		}
+		ref := committedStream(t, config.Baseline(), spec, n)
+		if len(ref) < n {
+			t.Fatalf("%s: reference committed only %d uops", name, len(ref))
+		}
+		for _, cfg := range features {
+			got := committedStream(t, cfg, spec, n)
+			if len(got) < n {
+				t.Errorf("%s on %s: committed only %d uops", name, cfg.Name, len(got))
+				continue
+			}
+			for i := 0; i < n; i++ {
+				if got[i] != ref[i] {
+					t.Errorf("%s on %s: commit stream diverged at %d:\n ref %+v\n got %+v",
+						name, cfg.Name, i, ref[i], got[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestFlushesReplayExactly forces heavy flushing (low-threshold VP on
+// flaky values plus memory-ordering violations) and checks the commit
+// stream still exactly matches the generated program order.
+func TestFlushesReplayExactly(t *testing.T) {
+	spec, ok := trace.ByName("tpcc") // stack-heavy: forwarding + violations
+	if !ok {
+		t.Fatal("missing workload")
+	}
+	cfg := config.Baseline().WithVP(config.VPEVES)
+	cfg.VP.ConfMax = 1 // hair-trigger confidence: many mispredict flushes
+	cfg.VP.ConfProb = 1
+
+	// Reference stream straight from the generator.
+	gen := spec.New()
+	const n = 10000
+	want := make([]commitRecord, n)
+	var op isa.MicroOp
+	for i := 0; i < n; i++ {
+		gen.Next(&op)
+		want[i] = commitRecord{pc: op.PC, class: op.Class, addr: op.Addr, dst: op.Dst, taken: op.Taken}
+	}
+
+	got := committedStream(t, cfg, spec, n)
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			t.Fatalf("commit stream diverged from program order at %d:\n want %+v\n got %+v",
+				i, want[i], got[i])
+		}
+	}
+}
+
+// TestVPFlushesActuallyHappenUnderHairTrigger guards the flush-replay
+// machinery with a generator whose load values repeat just long enough to
+// gain hair-trigger confidence and then change — guaranteed mispredicts.
+func TestVPFlushesActuallyHappenUnderHairTrigger(t *testing.T) {
+	inner := &loopGen{name: "flip", body: []isa.MicroOp{
+		ld(0x10, 1, isa.NoReg, 0xC000),
+		alu(0x14, 2, 1, isa.NoReg),
+	}}
+	cfg := config.Baseline().WithVP(config.VPEVES)
+	cfg.VP.ConfMax = 1
+	cfg.VP.ConfProb = 1
+	c := New(cfg, &valueFlipGen{inner})
+	st, err := c.Run(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.VPFlushes == 0 {
+		t.Error("hair-trigger VP produced no flushes; the replay machinery went unexercised")
+	}
+}
+
+// TestRFPQueueOverflowIsGraceful shrinks the RFP queue to 2 entries; the
+// machine must stay correct and simply drop the overflow.
+func TestRFPQueueOverflowIsGraceful(t *testing.T) {
+	spec, _ := trace.ByName("spec06_hmmer")
+	cfg := config.Baseline().WithRFP()
+	cfg.RFP.QueueSize = 2
+	c := New(cfg, spec.New())
+	c.WarmCaches()
+	st, err := c.Run(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RFP.Dropped == 0 {
+		t.Error("a 2-entry queue on a stream workload must drop packets")
+	}
+	if st.Instructions < 20000 {
+		t.Errorf("committed %d", st.Instructions)
+	}
+}
+
+// TestTinyWindowsStillCorrect shrinks every window to stress structural
+// stall paths (ROB/RS/LQ/SQ/PRF full).
+func TestTinyWindowsStillCorrect(t *testing.T) {
+	cfg := config.Baseline().WithRFP()
+	cfg.ROBSize = 16
+	cfg.RSSize = 8
+	cfg.LQSize = 4
+	cfg.SQSize = 4
+	cfg.IntPRF = 64 + 8
+	cfg.FPPRF = 64 + 8
+	spec, _ := trace.ByName("spec06_gcc")
+	got := committedStream(t, cfg, spec, 8000)
+	gen := spec.New()
+	var op isa.MicroOp
+	for i := 0; i < 8000; i++ {
+		gen.Next(&op)
+		want := commitRecord{pc: op.PC, class: op.Class, addr: op.Addr, dst: op.Dst, taken: op.Taken}
+		if got[i] != want {
+			t.Fatalf("tiny-window commit diverged at %d", i)
+		}
+	}
+}
+
+// TestCommitStreamMatchesGeneratorOrder asserts the baseline core is a
+// faithful in-order-retirement machine for every workload category.
+func TestCommitStreamMatchesGeneratorOrder(t *testing.T) {
+	for _, name := range []string{"spec06_wrf", "spec17_x264", "bigbench", "geekbench_fp", "lammps"} {
+		spec, ok := trace.ByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		got := committedStream(t, config.Baseline(), spec, 6000)
+		gen := spec.New()
+		var op isa.MicroOp
+		for i := 0; i < 6000; i++ {
+			gen.Next(&op)
+			want := commitRecord{pc: op.PC, class: op.Class, addr: op.Addr, dst: op.Dst, taken: op.Taken}
+			if got[i] != want {
+				t.Fatalf("%s: commit stream diverged at %d", name, i)
+			}
+		}
+	}
+}

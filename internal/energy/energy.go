@@ -1,0 +1,148 @@
+// Package energy turns the simulator's event counts into a first-order
+// dynamic-energy estimate, making the paper's qualitative power argument
+// (§5.6) quantitative: a correct RFP costs one L1 access like the load it
+// replaces (no validation re-read), a wrong RFP adds one extra L1 access,
+// while value/address predictors pay for extra table lookups, validation
+// accesses and — dominating everything — pipeline flushes that re-fetch and
+// re-execute dozens of uops.
+//
+// The per-event energies are in abstract energy units (EU) with relative
+// magnitudes taken from published CACTI-class estimates for the structure
+// sizes involved (a 48 KiB L1 read costs on the order of 20x a small
+// predictor-table read; DRAM costs ~100x an L1 read; a flush wastes the
+// pipeline energy of the squashed uops). Absolute joules are out of scope —
+// the comparisons the paper makes are relative.
+package energy
+
+import (
+	"fmt"
+
+	"rfpsim/internal/stats"
+)
+
+// Cost holds the per-event energy coefficients (energy units per event).
+type Cost struct {
+	// UopBase is the base pipeline energy of one committed uop (fetch,
+	// rename, schedule, execute, retire).
+	UopBase float64
+	// L1Access is one L1 data cache access (load, store, prefetch or
+	// validation probe).
+	L1Access float64
+	// L2Access, LLCAccess and MemAccess are accesses to the outer levels.
+	L2Access  float64
+	LLCAccess float64
+	MemAccess float64
+	// PTLookup is one Prefetch Table (or value/address predictor table)
+	// lookup or update; small SRAM.
+	PTLookup float64
+	// RFWrite is one physical register file write (the prefetch fill).
+	RFWrite float64
+	// FlushedUop is the wasted energy per squashed uop on a pipeline
+	// flush (it consumed fetch/rename/schedule energy without retiring).
+	FlushedUop float64
+	// Replay is one scheduler re-dispatch (wasted select/wakeup energy).
+	Replay float64
+}
+
+// DefaultCost returns coefficients with CACTI-class relative magnitudes.
+func DefaultCost() Cost {
+	return Cost{
+		UopBase:    1.0,
+		L1Access:   1.2,
+		L2Access:   6.0,
+		LLCAccess:  18.0,
+		MemAccess:  120.0,
+		PTLookup:   0.06,
+		RFWrite:    0.15,
+		FlushedUop: 0.7,
+		Replay:     0.15,
+	}
+}
+
+// Breakdown is the energy bill of one simulation run.
+type Breakdown struct {
+	// Base is the committed-uop pipeline energy.
+	Base float64
+	// Memory is the cache/DRAM access energy of demand traffic.
+	Memory float64
+	// Predictor is the table lookup/update energy (PT, VP, AP tables).
+	Predictor float64
+	// PrefetchExtra is the additional memory energy caused by prefetch
+	// machinery: wrong RFP re-accesses and DLVP probe traffic.
+	PrefetchExtra float64
+	// FlushWaste is squashed-uop energy from VP/MD flushes plus scheduler
+	// replays.
+	FlushWaste float64
+}
+
+// Total sums the breakdown.
+func (b Breakdown) Total() float64 {
+	return b.Base + b.Memory + b.Predictor + b.PrefetchExtra + b.FlushWaste
+}
+
+// String renders the breakdown compactly.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("total %.0f EU (base %.0f, memory %.0f, predictor %.0f, prefetch-extra %.0f, flush-waste %.0f)",
+		b.Total(), b.Base, b.Memory, b.Predictor, b.PrefetchExtra, b.FlushWaste)
+}
+
+// estimateFlushedUops approximates how many in-flight uops each pipeline
+// flush squashes: half a window of the machine's sustained parallelism.
+// Exposed as a variable for tests.
+var flushDepth = 40.0
+
+// FromStats converts a run's statistics into an energy breakdown under the
+// given cost model.
+func FromStats(s *stats.Sim, c Cost) Breakdown {
+	var b Breakdown
+	b.Base = float64(s.Instructions) * c.UopBase
+
+	// Demand memory traffic: every load is served once at its hit level
+	// (correct RFP prefetches replace, not add to, the load's access).
+	// Stores access the L1 as well.
+	levelCost := [stats.NumLevels]float64{
+		stats.LevelL1:   c.L1Access,
+		stats.LevelMSHR: c.L1Access, // the merge re-reads the fill buffer
+		stats.LevelL2:   c.L1Access + c.L2Access,
+		stats.LevelLLC:  c.L1Access + c.L2Access + c.LLCAccess,
+		stats.LevelMem:  c.L1Access + c.L2Access + c.LLCAccess + c.MemAccess,
+	}
+	for l := 0; l < stats.NumLevels; l++ {
+		b.Memory += float64(s.LoadHitLevel[l]) * levelCost[l]
+	}
+	b.Memory += float64(s.Stores) * c.L1Access
+
+	// Predictor tables: the PT is consulted at every load allocation and
+	// retirement; VP/AP tables likewise at prediction and training.
+	if s.RFP.Injected > 0 || s.RFP.Executed > 0 {
+		b.Predictor += 2 * float64(s.Loads) * c.PTLookup
+		// Prefetch fills write the register file.
+		b.Predictor += float64(s.RFP.Executed) * c.RFWrite
+		// A wrong prefetch forced the load to access the L1 again.
+		b.PrefetchExtra += float64(s.RFP.Wrong) * c.L1Access
+	}
+	if s.VP.Predicted > 0 || s.AP.AddressPredictable > 0 {
+		b.Predictor += 2 * float64(s.Loads) * c.PTLookup
+	}
+	// DLVP/EPP probes are extra L1 traffic on top of the demand access
+	// (the demand load still executes to validate).
+	b.PrefetchExtra += float64(s.AP.ProbeLaunched) * c.L1Access
+	// EPP re-executions re-read the L1 at retirement.
+	b.PrefetchExtra += float64(s.EPPReexecutions) * c.L1Access
+
+	// Flush waste: VP mispredicts and memory-ordering violations squash
+	// and re-process a window of uops; replays waste scheduler slots.
+	flushes := float64(s.VPFlushes + s.MemOrderViolations)
+	b.FlushWaste = flushes*flushDepth*c.FlushedUop + float64(s.Replays)*c.Replay
+
+	return b
+}
+
+// PerUop normalizes a breakdown by committed uops (energy per instruction,
+// the paper-style metric).
+func PerUop(s *stats.Sim, c Cost) float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return FromStats(s, c).Total() / float64(s.Instructions)
+}

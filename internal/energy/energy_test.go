@@ -1,0 +1,136 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"rfpsim/internal/stats"
+)
+
+func baseSim() *stats.Sim {
+	s := &stats.Sim{Instructions: 10000, Cycles: 5000, Loads: 2500, Stores: 800}
+	s.LoadHitLevel[stats.LevelL1] = 2300
+	s.LoadHitLevel[stats.LevelL2] = 150
+	s.LoadHitLevel[stats.LevelMem] = 50
+	return s
+}
+
+func TestBreakdownBasics(t *testing.T) {
+	c := DefaultCost()
+	b := FromStats(baseSim(), c)
+	if b.Base != 10000*c.UopBase {
+		t.Errorf("base = %v", b.Base)
+	}
+	if b.Memory <= 0 {
+		t.Error("memory energy must be positive")
+	}
+	if b.Predictor != 0 || b.PrefetchExtra != 0 || b.FlushWaste != 0 {
+		t.Error("plain baseline must have no predictor/prefetch/flush energy")
+	}
+	if b.Total() != b.Base+b.Memory {
+		t.Error("total mismatch")
+	}
+	if !strings.Contains(b.String(), "total") {
+		t.Error("String() malformed")
+	}
+}
+
+func TestDRAMAccessesDominateMemoryEnergy(t *testing.T) {
+	c := DefaultCost()
+	few := baseSim()
+	many := baseSim()
+	many.LoadHitLevel[stats.LevelMem] = 500
+	many.LoadHitLevel[stats.LevelL1] = 1850
+	if FromStats(many, c).Memory <= FromStats(few, c).Memory*2 {
+		t.Error("10x DRAM misses should far more than double memory energy")
+	}
+}
+
+func TestCorrectRFPAddsOnlyTableEnergy(t *testing.T) {
+	c := DefaultCost()
+	base := baseSim()
+	rfp := baseSim()
+	rfp.RFP.Injected = 1800
+	rfp.RFP.Executed = 1500
+	rfp.RFP.Useful = 1500 // all correct: no extra L1 traffic
+	eb := FromStats(base, c)
+	er := FromStats(rfp, c)
+	if er.PrefetchExtra != 0 {
+		t.Errorf("all-correct RFP reported %v extra prefetch energy", er.PrefetchExtra)
+	}
+	overhead := er.Total() - eb.Total()
+	// Table lookups + RF writes only: well under one L1 access per load.
+	if overhead <= 0 || overhead > float64(rfp.Loads)*c.L1Access {
+		t.Errorf("RFP overhead = %v, want small positive", overhead)
+	}
+}
+
+func TestWrongRFPPaysOneL1AccessEach(t *testing.T) {
+	c := DefaultCost()
+	s := baseSim()
+	s.RFP.Injected = 1000
+	s.RFP.Executed = 1000
+	s.RFP.Useful = 900
+	s.RFP.Wrong = 100
+	b := FromStats(s, c)
+	if b.PrefetchExtra != 100*c.L1Access {
+		t.Errorf("wrong-prefetch energy = %v, want %v", b.PrefetchExtra, 100*c.L1Access)
+	}
+}
+
+func TestFlushesAreExpensive(t *testing.T) {
+	c := DefaultCost()
+	vp := baseSim()
+	vp.VP.Predicted = 500
+	vp.VP.Mispredicted = 50
+	vp.VPFlushes = 50
+	b := FromStats(vp, c)
+	if b.FlushWaste < 50*flushDepth*c.FlushedUop {
+		t.Errorf("flush waste = %v", b.FlushWaste)
+	}
+	// 50 flushes must cost more than 100 wrong prefetches would.
+	wrong := baseSim()
+	wrong.RFP.Executed = 1000
+	wrong.RFP.Wrong = 100
+	if b.FlushWaste <= FromStats(wrong, c).PrefetchExtra {
+		t.Error("flushes must dominate wrong prefetches (the paper's power argument)")
+	}
+}
+
+func TestProbeTrafficCharged(t *testing.T) {
+	c := DefaultCost()
+	s := baseSim()
+	s.AP.AddressPredictable = 1000
+	s.AP.ProbeLaunched = 600
+	s.EPPReexecutions = 40
+	b := FromStats(s, c)
+	want := (600 + 40) * c.L1Access
+	if b.PrefetchExtra != want {
+		t.Errorf("probe energy = %v, want %v", b.PrefetchExtra, want)
+	}
+	if b.Predictor == 0 {
+		t.Error("AP tables must cost lookup energy")
+	}
+}
+
+func TestPerUop(t *testing.T) {
+	c := DefaultCost()
+	s := baseSim()
+	if got := PerUop(s, c); got <= 0 {
+		t.Errorf("PerUop = %v", got)
+	}
+	var empty stats.Sim
+	if PerUop(&empty, c) != 0 {
+		t.Error("PerUop of empty stats must be 0")
+	}
+}
+
+func TestDefaultCostOrdering(t *testing.T) {
+	c := DefaultCost()
+	if !(c.PTLookup < c.RFWrite && c.RFWrite < c.L1Access) {
+		t.Error("small structures must cost less than the L1")
+	}
+	if !(c.L1Access < c.L2Access && c.L2Access < c.LLCAccess && c.LLCAccess < c.MemAccess) {
+		t.Error("hierarchy energies must increase outward")
+	}
+}

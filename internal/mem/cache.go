@@ -1,0 +1,121 @@
+// Package mem models the data-side memory hierarchy: set-associative cache
+// arrays with LRU replacement, an MSHR file with miss merging, a DTLB with
+// page-walk latency, and DRAM. Latencies follow the paper's Figure 1
+// (5-cycle L1, ~14-cycle L2, ~40-cycle LLC, 200-cycle memory).
+package mem
+
+import (
+	"fmt"
+	"math/bits"
+
+	"rfpsim/internal/isa"
+)
+
+// cacheLine is one way of one set.
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	lru   uint64 // last-touch stamp; higher is more recent
+}
+
+// Cache is a single set-associative cache array with true-LRU replacement.
+// It tracks presence only; data values live in the workload model.
+type Cache struct {
+	sets     int
+	ways     int
+	setShift uint
+	setMask  uint64
+	lines    []cacheLine // sets*ways, row-major by set
+	stamp    uint64
+}
+
+// NewCache builds a cache with the given geometry. sets must be a power of
+// two and both parameters positive; otherwise NewCache panics, since a bad
+// geometry is a programming error in a configuration.
+func NewCache(sets, ways int) *Cache {
+	if sets <= 0 || ways <= 0 || bits.OnesCount(uint(sets)) != 1 {
+		panic(fmt.Sprintf("mem: invalid cache geometry %dx%d", sets, ways))
+	}
+	return &Cache{
+		sets:     sets,
+		ways:     ways,
+		setShift: uint(bits.TrailingZeros(uint(isa.CacheLineSize))),
+		setMask:  uint64(sets - 1),
+		lines:    make([]cacheLine, sets*ways),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SizeBytes returns the total capacity in bytes.
+func (c *Cache) SizeBytes() int { return c.sets * c.ways * isa.CacheLineSize }
+
+func (c *Cache) setFor(addr uint64) []cacheLine {
+	idx := int((addr >> c.setShift) & c.setMask)
+	return c.lines[idx*c.ways : (idx+1)*c.ways]
+}
+
+func (c *Cache) tagFor(addr uint64) uint64 {
+	return addr >> (c.setShift + uint(bits.TrailingZeros(uint(c.sets))))
+}
+
+// Lookup probes for the line containing addr; on a hit it refreshes LRU
+// state and returns true.
+func (c *Cache) Lookup(addr uint64) bool {
+	set := c.setFor(addr)
+	tag := c.tagFor(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.stamp++
+			set[i].lru = c.stamp
+			return true
+		}
+	}
+	return false
+}
+
+// Contains probes for the line without touching replacement state.
+func (c *Cache) Contains(addr uint64) bool {
+	set := c.setFor(addr)
+	tag := c.tagFor(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills the line containing addr, evicting the LRU way if needed.
+// Inserting a line already present refreshes its LRU state.
+func (c *Cache) Insert(addr uint64) {
+	set := c.setFor(addr)
+	tag := c.tagFor(addr)
+	c.stamp++
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.stamp
+			return
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = cacheLine{tag: tag, valid: true, lru: c.stamp}
+}
+
+// Flush invalidates the whole cache.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = cacheLine{}
+	}
+}

@@ -1,0 +1,242 @@
+package mem
+
+import (
+	"testing"
+
+	"rfpsim/internal/config"
+	"rfpsim/internal/stats"
+)
+
+func testHierarchy(oracle config.OracleMode) (*Hierarchy, *stats.Sim) {
+	st := &stats.Sim{}
+	cfg := config.Baseline().Mem
+	return NewHierarchy(cfg, oracle, st), st
+}
+
+func TestHierarchyColdMissThenHit(t *testing.T) {
+	h, st := testHierarchy(config.OracleNone)
+	r := h.Access(0x10000, 100, true)
+	if r.Level != stats.LevelMem {
+		t.Fatalf("cold access level = %s", stats.LevelName(r.Level))
+	}
+	if !r.TLBMiss {
+		t.Error("cold access should miss DTLB")
+	}
+	// DoneAt = 100 + pagewalk(30) + mem(200).
+	if r.DoneAt != 100+30+200 {
+		t.Errorf("DoneAt = %d, want 330", r.DoneAt)
+	}
+	// Second access after fill: L1 hit at L1 latency, TLB warm.
+	r2 := h.Access(0x10000, 400, true)
+	if r2.Level != stats.LevelL1 || r2.TLBMiss {
+		t.Errorf("refill access level=%s tlbmiss=%v", stats.LevelName(r2.Level), r2.TLBMiss)
+	}
+	if r2.DoneAt != 400+5 {
+		t.Errorf("L1 hit DoneAt = %d, want 405", r2.DoneAt)
+	}
+	if st.LoadHitLevel[stats.LevelMem] != 1 || st.LoadHitLevel[stats.LevelL1] != 1 {
+		t.Errorf("level stats wrong: %v", st.LoadHitLevel)
+	}
+	if st.DTLBMisses != 1 {
+		t.Errorf("DTLB misses = %d", st.DTLBMisses)
+	}
+}
+
+func TestHierarchyMSHRMerge(t *testing.T) {
+	h, st := testHierarchy(config.OracleNone)
+	h.tlb.Insert(0x10000 >> 12)
+	r1 := h.Access(0x10000, 100, true)
+	// Same line, before the fill completes: MSHR hit, data at the fill.
+	r2 := h.Access(0x10020, 150, true)
+	if r2.Level != stats.LevelMSHR {
+		t.Fatalf("merged access level = %s", stats.LevelName(r2.Level))
+	}
+	if r2.DoneAt != r1.DoneAt {
+		t.Errorf("merge DoneAt = %d, want %d", r2.DoneAt, r1.DoneAt)
+	}
+	if st.LoadHitLevel[stats.LevelMSHR] != 1 {
+		t.Error("MSHR stat not recorded")
+	}
+	// After the fill, it is a plain L1 hit.
+	r3 := h.Access(0x10000, r1.DoneAt+1, true)
+	if r3.Level != stats.LevelL1 {
+		t.Errorf("post-fill level = %s", stats.LevelName(r3.Level))
+	}
+}
+
+func TestHierarchyMSHRMergeNeverFasterThanL1(t *testing.T) {
+	h, _ := testHierarchy(config.OracleNone)
+	h.tlb.Insert(0)
+	r1 := h.Access(0, 100, true)
+	// Merge one cycle before the fill: data cannot appear faster than an
+	// L1 pipeline traversal.
+	r2 := h.Access(0, r1.DoneAt-1, true)
+	if r2.Level != stats.LevelMSHR {
+		t.Fatalf("level = %s", stats.LevelName(r2.Level))
+	}
+	if r2.DoneAt < r1.DoneAt-1+5 {
+		t.Errorf("merge returned faster than L1 latency: %d", r2.DoneAt)
+	}
+}
+
+func TestHierarchyMSHRLimit(t *testing.T) {
+	cfg := config.Baseline().Mem
+	cfg.L1MSHRs = 2
+	h := NewHierarchy(cfg, config.OracleNone, nil)
+	// Pre-warm TLB for distinct pages.
+	for i := uint64(0); i < 4; i++ {
+		h.tlb.Insert(i * 16) // pages of addr i<<16
+	}
+	r1 := h.Access(0x0<<16, 100, false)
+	r2 := h.Access(0x1<<16, 100, false)
+	// Third distinct miss at the same cycle must wait for an MSHR.
+	r3 := h.Access(0x2<<16, 100, false)
+	if r3.DoneAt <= r1.DoneAt && r3.DoneAt <= r2.DoneAt {
+		t.Errorf("MSHR-starved miss did not queue: r3=%d r1=%d", r3.DoneAt, r1.DoneAt)
+	}
+	earliest := r1.DoneAt
+	if r2.DoneAt < earliest {
+		earliest = r2.DoneAt
+	}
+	if r3.DoneAt != earliest+200 {
+		t.Errorf("queued miss DoneAt = %d, want %d", r3.DoneAt, earliest+200)
+	}
+}
+
+func TestHierarchyLevelProgression(t *testing.T) {
+	h, _ := testHierarchy(config.OracleNone)
+	addr := uint64(0x4000)
+	h.Warm(addr)
+	// Evict from L1 only by filling its set with conflicting lines.
+	// L1: 64 sets; lines conflicting with addr are addr + k*64*64.
+	for k := 1; k <= 12; k++ {
+		h.Access(addr+uint64(k)*64*64, uint64(1000+k*300), false)
+	}
+	r := h.Access(addr, 100000, false)
+	if r.Level != stats.LevelL2 {
+		t.Errorf("evicted-from-L1 access level = %s, want L2", stats.LevelName(r.Level))
+	}
+	if r.DoneAt != 100000+14 {
+		t.Errorf("L2 latency wrong: %d", r.DoneAt-100000)
+	}
+}
+
+func TestHierarchyOracleLatencies(t *testing.T) {
+	cases := []struct {
+		oracle config.OracleMode
+		level  int
+		want   uint64
+	}{
+		{config.OracleNone, stats.LevelL1, 5},
+		{config.OracleL1ToRF, stats.LevelL1, 1},
+		{config.OracleL2ToL1, stats.LevelL2, 5},
+		{config.OracleLLCToL2, stats.LevelLLC, 14},
+		{config.OracleMemToLLC, stats.LevelMem, 40},
+	}
+	for _, c := range cases {
+		h, _ := testHierarchy(c.oracle)
+		if got := h.Latency(c.level); got != c.want {
+			t.Errorf("oracle %v: latency(%s) = %d, want %d",
+				c.oracle, stats.LevelName(c.level), got, c.want)
+		}
+	}
+	// Oracle must not change other levels.
+	h, _ := testHierarchy(config.OracleL1ToRF)
+	if h.Latency(stats.LevelMem) != 200 {
+		t.Error("oracle L1->RF changed DRAM latency")
+	}
+}
+
+func TestHierarchyTLBCoversIsNonDestructive(t *testing.T) {
+	h, st := testHierarchy(config.OracleNone)
+	if h.TLBCovers(0x123456) {
+		t.Error("cold TLB should not cover")
+	}
+	if st.DTLBMisses != 0 {
+		t.Error("TLBCovers must not count misses")
+	}
+	h.Warm(0x123456)
+	if !h.TLBCovers(0x123456) {
+		t.Error("warmed page should be covered")
+	}
+}
+
+func TestHierarchyWarm(t *testing.T) {
+	h, st := testHierarchy(config.OracleNone)
+	h.Warm(0x8000)
+	r := h.Access(0x8000, 10, true)
+	if r.Level != stats.LevelL1 || r.TLBMiss {
+		t.Errorf("warmed access level=%s tlb=%v", stats.LevelName(r.Level), r.TLBMiss)
+	}
+	if st.LoadHitLevel[stats.LevelL1] != 1 {
+		t.Error("stat missing")
+	}
+}
+
+func TestHierarchyCountLoadFlag(t *testing.T) {
+	h, st := testHierarchy(config.OracleNone)
+	h.Access(0x9000, 5, false)
+	var total uint64
+	for _, c := range st.LoadHitLevel {
+		total += c
+	}
+	if total != 0 {
+		t.Error("countLoad=false must not record distribution stats")
+	}
+}
+
+func TestHierarchyL1Contains(t *testing.T) {
+	h, _ := testHierarchy(config.OracleNone)
+	if h.L1Contains(0x7000) {
+		t.Error("cold L1 contains?")
+	}
+	h.Warm(0x7000)
+	if !h.L1Contains(0x7010) {
+		t.Error("same line should be contained")
+	}
+}
+
+// Property: any access completes no earlier than now + L1 latency and no
+// later than now + pagewalk + queued-MSHR wait + DRAM latency.
+func TestHierarchyLatencyBoundsProperty(t *testing.T) {
+	h, _ := testHierarchy(config.OracleNone)
+	cfg := config.Baseline().Mem
+	rng := uint64(0x12345)
+	now := uint64(100)
+	for i := 0; i < 20000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		addr := (rng >> 11) % (64 << 20)
+		now += rng % 7
+		r := h.Access(addr, now, false)
+		lo := now + uint64(cfg.L1Latency)
+		hi := now + uint64(cfg.PageWalkLatency) + uint64(cfg.MemLatency)*2
+		if r.DoneAt < lo || r.DoneAt > hi {
+			t.Fatalf("access %d: DoneAt %d outside [%d, %d] (level %s)",
+				i, r.DoneAt, lo, hi, stats.LevelName(r.Level))
+		}
+		if r.Level < 0 || r.Level >= stats.NumLevels {
+			t.Fatalf("invalid level %d", r.Level)
+		}
+	}
+}
+
+// Property: an immediate re-access of the same address is always an L1 hit
+// at exactly L1 latency once the fill has completed.
+func TestHierarchyRefillProperty(t *testing.T) {
+	h, _ := testHierarchy(config.OracleNone)
+	rng := uint64(7)
+	now := uint64(0)
+	for i := 0; i < 5000; i++ {
+		rng = rng*6364136223846793005 + 1
+		addr := (rng >> 13) % (8 << 20)
+		r1 := h.Access(addr, now, false)
+		r2 := h.Access(addr, r1.DoneAt+1, false)
+		if r2.Level != stats.LevelL1 {
+			t.Fatalf("re-access after fill at level %s", stats.LevelName(r2.Level))
+		}
+		if r2.DoneAt != r1.DoneAt+1+5 {
+			t.Fatalf("re-access latency %d, want 5", r2.DoneAt-r1.DoneAt-1)
+		}
+		now = r1.DoneAt + 2
+	}
+}

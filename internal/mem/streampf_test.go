@@ -1,0 +1,101 @@
+package mem
+
+import (
+	"testing"
+
+	"rfpsim/internal/config"
+	"rfpsim/internal/stats"
+)
+
+func TestStreamPrefetcherDetectsAscending(t *testing.T) {
+	p := newStreamPrefetcher(2)
+	if got := p.observeMiss(0x1000); got != nil {
+		t.Errorf("first miss prefetched %v", got)
+	}
+	if got := p.observeMiss(0x1040); got != nil {
+		t.Errorf("direction-setting miss prefetched %v", got)
+	}
+	got := p.observeMiss(0x1080) // confirmed ascending
+	if len(got) != 2 || got[0] != 0x10c0 || got[1] != 0x1100 {
+		t.Errorf("confirmed stream prefetched %v, want next two lines", got)
+	}
+}
+
+func TestStreamPrefetcherDetectsDescending(t *testing.T) {
+	p := newStreamPrefetcher(1)
+	p.observeMiss(0x2100)
+	p.observeMiss(0x20c0)
+	got := p.observeMiss(0x2080)
+	if len(got) != 1 || got[0] != 0x2040 {
+		t.Errorf("descending stream prefetched %v", got)
+	}
+}
+
+func TestStreamPrefetcherIgnoresRandom(t *testing.T) {
+	p := newStreamPrefetcher(2)
+	total := 0
+	for _, l := range []uint64{0x3000, 0x3400, 0x3040, 0x3800, 0x30c0, 0x3240} {
+		total += len(p.observeMiss(l))
+	}
+	// Alternating directions within the region must not confirm a stream.
+	if total > 2 {
+		t.Errorf("random pattern produced %d prefetches", total)
+	}
+}
+
+func TestStreamPrefetcherRegionIsolation(t *testing.T) {
+	p := newStreamPrefetcher(2)
+	// Interleaved streams in two regions must both be detected.
+	addrsA := []uint64{0x10000, 0x10040, 0x10080, 0x100c0}
+	addrsB := []uint64{0x50000, 0x50040, 0x50080, 0x500c0}
+	var gotA, gotB int
+	for i := range addrsA {
+		gotA += len(p.observeMiss(addrsA[i]))
+		gotB += len(p.observeMiss(addrsB[i]))
+	}
+	if gotA == 0 || gotB == 0 {
+		t.Errorf("interleaved streams not both detected: %d %d", gotA, gotB)
+	}
+}
+
+func TestHierarchyHWPrefetchHidesStreamMisses(t *testing.T) {
+	cfg := config.Baseline().Mem
+	run := func(hw bool) (l1OrMerge, total uint64) {
+		cfg.HWPrefetch = hw
+		st := &stats.Sim{}
+		h := NewHierarchy(cfg, config.OracleNone, st)
+		// Stream through 512 lines, 4 accesses per line, with realistic
+		// inter-access spacing so prefetch fills can land.
+		cycle := uint64(0)
+		for line := uint64(0); line < 512; line++ {
+			for k := uint64(0); k < 4; k++ {
+				h.Access(0x100000+line*64+k*16, cycle, true)
+				cycle += 3
+			}
+		}
+		return st.LoadHitLevel[stats.LevelL1] + st.LoadHitLevel[stats.LevelMSHR],
+			512 * 4
+	}
+	base, total := run(false)
+	pf, _ := run(true)
+	if pf <= base {
+		t.Errorf("HW prefetch did not raise L1+MSHR hits: %d vs %d of %d", pf, base, total)
+	}
+}
+
+func TestHierarchyHWPrefetchRespectsMSHRs(t *testing.T) {
+	cfg := config.Baseline().Mem
+	cfg.HWPrefetch = true
+	cfg.HWPrefetchDegree = 8
+	cfg.L1MSHRs = 3
+	h := NewHierarchy(cfg, config.OracleNone, nil)
+	// With accesses spaced beyond the fill latency, each demand miss
+	// occupies one MSHR and the prefetcher may only use the remaining
+	// budget, despite its degree of 8.
+	for line := uint64(0); line < 64; line++ {
+		h.Access(0x200000+line*64, uint64(line)*300, false)
+		if len(h.inflight) > cfg.L1MSHRs {
+			t.Fatalf("inflight %d exceeds MSHR budget %d", len(h.inflight), cfg.L1MSHRs)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package predictor
+
+// Criticality is a per-PC load criticality estimator in the spirit of
+// Focused Value Prediction and CATCH (both cited by the paper, which
+// leaves "targeted prefetching for specific load instructions" as future
+// work — implemented here as an RFP extension). The heuristic is the
+// classic commit-stall signal: a load whose latency made it block the ROB
+// head was, by definition, on the critical path; one that retired without
+// ever heading the stall is not. Saturating counters smooth the signal.
+type Criticality struct {
+	mask     uint64
+	counters []uint8
+	benigns  uint64 // fractional-decay tick counter
+}
+
+// critMax saturates the counter; IsCritical triggers at >= critMax/2.
+const critMax = 15
+
+// NewCriticality builds an estimator with 2^tableBits counters.
+func NewCriticality(tableBits uint) *Criticality {
+	size := 1 << tableBits
+	return &Criticality{
+		mask:     uint64(size - 1),
+		counters: make([]uint8, size),
+	}
+}
+
+func (c *Criticality) index(pc uint64) uint64 { return (pc ^ pc>>10) & c.mask }
+
+// MarkCritical records that the load at pc stalled the commit head.
+// Stalls move the counter fast (+3) because missing a critical load costs
+// full exposed latency.
+func (c *Criticality) MarkCritical(pc uint64) {
+	i := c.index(pc)
+	v := int(c.counters[i]) + 3
+	if v > critMax {
+		v = critMax
+	}
+	c.counters[i] = uint8(v)
+}
+
+// MarkBenign records a retirement that never stalled the head. Decay is
+// fractional (every 8th benign retirement decrements) because even a
+// critical load stalls the head on only a fraction of its dynamic
+// instances — the window usually absorbs some of its latency — so a 1:1
+// decay would drown the stall signal entirely.
+func (c *Criticality) MarkBenign(pc uint64) {
+	c.benigns++
+	if c.benigns%8 != 0 {
+		return
+	}
+	if i := c.index(pc); c.counters[i] > 0 {
+		c.counters[i]--
+	}
+}
+
+// IsCritical reports whether the load at pc is currently predicted
+// performance-critical.
+func (c *Criticality) IsCritical(pc uint64) bool {
+	return c.counters[c.index(pc)] >= critMax/2
+}

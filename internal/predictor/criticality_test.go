@@ -1,0 +1,65 @@
+package predictor
+
+import "testing"
+
+func TestCriticalityColdIsBenign(t *testing.T) {
+	c := NewCriticality(10)
+	if c.IsCritical(0x100) {
+		t.Error("cold estimator must not flag loads critical")
+	}
+}
+
+func TestCriticalityLearnsStallingLoad(t *testing.T) {
+	c := NewCriticality(10)
+	pc := uint64(0x200)
+	for i := 0; i < 3; i++ {
+		c.MarkCritical(pc)
+	}
+	if !c.IsCritical(pc) {
+		t.Error("repeatedly stalling load not flagged")
+	}
+}
+
+func TestCriticalitySurvivesDilutedStalls(t *testing.T) {
+	// A load that stalls the head on 10% of its retirements must stay
+	// critical: that is exactly the paper's "some prefetches matter more"
+	// population.
+	c := NewCriticality(10)
+	pc := uint64(0x300)
+	for i := 0; i < 200; i++ {
+		if i%10 == 0 {
+			c.MarkCritical(pc)
+		} else {
+			c.MarkBenign(pc)
+		}
+	}
+	if !c.IsCritical(pc) {
+		t.Error("load stalling on a tenth of retirements decayed out")
+	}
+}
+
+func TestCriticalityDecaysNeverStalling(t *testing.T) {
+	c := NewCriticality(10)
+	pc := uint64(0x400)
+	c.MarkCritical(pc)
+	c.MarkCritical(pc)
+	c.MarkCritical(pc)
+	for i := 0; i < 200; i++ {
+		c.MarkBenign(pc)
+	}
+	if c.IsCritical(pc) {
+		t.Error("load that stopped stalling still flagged")
+	}
+}
+
+func TestCriticalitySaturates(t *testing.T) {
+	c := NewCriticality(8)
+	pc := uint64(0x88)
+	for i := 0; i < 100; i++ {
+		c.MarkCritical(pc)
+	}
+	// Must still be critical and not have wrapped.
+	if !c.IsCritical(pc) {
+		t.Error("counter wrapped")
+	}
+}

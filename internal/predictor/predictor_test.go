@@ -1,0 +1,187 @@
+package predictor
+
+import (
+	"testing"
+
+	"rfpsim/internal/prng"
+)
+
+func TestBranchLearnsAlwaysTaken(t *testing.T) {
+	b := NewBranch(14, 12)
+	pc := uint64(0x400)
+	for i := 0; i < 8; i++ {
+		b.Update(pc, true)
+	}
+	if !b.Predict(pc) {
+		t.Error("always-taken branch predicted not-taken")
+	}
+}
+
+func TestBranchLearnsAlwaysNotTaken(t *testing.T) {
+	b := NewBranch(14, 12)
+	pc := uint64(0x404)
+	for i := 0; i < 8; i++ {
+		b.Update(pc, false)
+	}
+	if b.Predict(pc) {
+		t.Error("never-taken branch predicted taken")
+	}
+}
+
+func TestBranchLearnsAlternatingWithHistory(t *testing.T) {
+	// gshare with global history should learn a strict T/NT alternation
+	// once warmed, because the history disambiguates the two phases.
+	b := NewBranch(16, 8)
+	pc := uint64(0x4000)
+	taken := false
+	for i := 0; i < 4096; i++ {
+		b.Update(pc, taken)
+		taken = !taken
+	}
+	correct := 0
+	for i := 0; i < 512; i++ {
+		if b.Predict(pc) == taken {
+			correct++
+		}
+		b.Update(pc, taken)
+		taken = !taken
+	}
+	if acc := float64(correct) / 512; acc < 0.95 {
+		t.Errorf("alternating accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestBranchRandomIsHard(t *testing.T) {
+	b := NewBranch(14, 12)
+	r := prng.New(5)
+	pc := uint64(0x888)
+	correct := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		taken := r.Bool(0.5)
+		if b.Predict(pc) == taken {
+			correct++
+		}
+		b.Update(pc, taken)
+	}
+	acc := float64(correct) / n
+	if acc > 0.6 {
+		t.Errorf("random branch accuracy %v suspiciously high", acc)
+	}
+}
+
+func TestBranchTableBitsClamping(t *testing.T) {
+	// Degenerate parameters must still produce a working predictor.
+	for _, tb := range []uint{0, 3, 30} {
+		b := NewBranch(tb, 40)
+		b.Update(0x10, true)
+		_ = b.Predict(0x10)
+	}
+}
+
+func TestHitMissDefaultsToHit(t *testing.T) {
+	h := NewHitMiss(12)
+	if !h.Predict(0x1234) {
+		t.Error("cold hit-miss predictor must predict hit")
+	}
+}
+
+func TestHitMissLearnsMissingLoad(t *testing.T) {
+	h := NewHitMiss(12)
+	pc := uint64(0x500)
+	// Misses penalize strongly: a few misses flip the prediction.
+	for i := 0; i < 4; i++ {
+		h.Update(pc, false)
+	}
+	if h.Predict(pc) {
+		t.Error("repeatedly missing load still predicted hit")
+	}
+	// Recovery is slow: one hit must not flip it back.
+	h.Update(pc, true)
+	if h.Predict(pc) {
+		t.Error("one hit flipped prediction back too eagerly")
+	}
+	for i := 0; i < 16; i++ {
+		h.Update(pc, true)
+	}
+	if !h.Predict(pc) {
+		t.Error("sustained hits should restore hit prediction")
+	}
+}
+
+func TestHitMissSaturation(t *testing.T) {
+	h := NewHitMiss(8)
+	pc := uint64(0x77)
+	for i := 0; i < 100; i++ {
+		h.Update(pc, false)
+	}
+	for i := 0; i < 100; i++ {
+		h.Update(pc, true)
+	}
+	if !h.Predict(pc) {
+		t.Error("counter failed to saturate upward")
+	}
+}
+
+func TestStoreSetsColdHasNoSet(t *testing.T) {
+	s := NewStoreSets(10)
+	if s.IDFor(0x123) != InvalidSet {
+		t.Error("cold SSIT must have no set")
+	}
+}
+
+func TestStoreSetsViolationMergesLoadAndStore(t *testing.T) {
+	s := NewStoreSets(10)
+	loadPC, storePC := uint64(0x100), uint64(0x200)
+	s.RecordViolation(loadPC, storePC)
+	l, st := s.IDFor(loadPC), s.IDFor(storePC)
+	if l == InvalidSet || l != st {
+		t.Errorf("violation did not merge: load=%d store=%d", l, st)
+	}
+}
+
+func TestStoreSetsSecondStoreJoinsExistingSet(t *testing.T) {
+	s := NewStoreSets(10)
+	loadPC, s1, s2 := uint64(0x100), uint64(0x200), uint64(0x300)
+	s.RecordViolation(loadPC, s1)
+	s.RecordViolation(loadPC, s2)
+	if s.IDFor(s2) != s.IDFor(loadPC) {
+		t.Error("second store did not join load's set")
+	}
+	if s.IDFor(s1) != s.IDFor(loadPC) {
+		t.Error("first store lost its set")
+	}
+}
+
+func TestStoreSetsBothHaveSetsStoreJoinsLoad(t *testing.T) {
+	s := NewStoreSets(10)
+	s.RecordViolation(0x100, 0x200) // set A
+	s.RecordViolation(0x110, 0x210) // set B
+	// Now load 0x100 (set A) violates with store 0x210 (set B): the store
+	// must move to the load's set.
+	s.RecordViolation(0x100, 0x210)
+	if s.IDFor(0x210) != s.IDFor(0x100) {
+		t.Error("store did not join load's set on merge")
+	}
+}
+
+func TestStoreSetsDistinctPairsGetDistinctSets(t *testing.T) {
+	s := NewStoreSets(10)
+	s.RecordViolation(0x100, 0x200)
+	s.RecordViolation(0x101, 0x201)
+	if s.IDFor(0x100) == s.IDFor(0x101) {
+		t.Error("unrelated violations share a set")
+	}
+}
+
+func TestStoreSetsClear(t *testing.T) {
+	s := NewStoreSets(10)
+	s.RecordViolation(0x100, 0x200)
+	s.Clear(0x100)
+	if s.IDFor(0x100) != InvalidSet {
+		t.Error("Clear did not remove the set")
+	}
+	if s.IDFor(0x200) == InvalidSet {
+		t.Error("Clear removed the store's set too")
+	}
+}

@@ -1,0 +1,63 @@
+package predictor
+
+// StoreSets is the memory-dependence predictor of Chrysos & Emer ("Memory
+// Dependence Prediction using Store Sets", ISCA 1998). Loads and stores that
+// were ever caught violating memory ordering are placed in a common store
+// set; a load (or an RFP prefetch standing in for it, §3.2.1 of the paper)
+// that finds an unresolved older store of its own set in the store queue
+// waits for that store instead of speculating past it.
+type StoreSets struct {
+	mask   uint64
+	ssit   []int32 // store-set ID table, indexed by hashed PC; -1 = none
+	nextID int32
+	maxID  int32
+}
+
+// InvalidSet is returned for PCs with no assigned store set.
+const InvalidSet int32 = -1
+
+// NewStoreSets builds a predictor with 2^tableBits SSIT entries.
+func NewStoreSets(tableBits uint) *StoreSets {
+	size := 1 << tableBits
+	s := &StoreSets{
+		mask:  uint64(size - 1),
+		ssit:  make([]int32, size),
+		maxID: int32(size),
+	}
+	for i := range s.ssit {
+		s.ssit[i] = InvalidSet
+	}
+	return s
+}
+
+func (s *StoreSets) index(pc uint64) uint64 { return (pc ^ pc>>9) & s.mask }
+
+// IDFor returns the store-set ID assigned to pc, or InvalidSet.
+func (s *StoreSets) IDFor(pc uint64) int32 { return s.ssit[s.index(pc)] }
+
+// RecordViolation merges the load and the store into one store set after an
+// ordering violation, following the store-set merge rule: if neither has a
+// set, allocate a fresh one; if one has a set, the other joins it; if both
+// have sets, the store joins the load's set.
+func (s *StoreSets) RecordViolation(loadPC, storePC uint64) {
+	li, si := s.index(loadPC), s.index(storePC)
+	lset, sset := s.ssit[li], s.ssit[si]
+	switch {
+	case lset == InvalidSet && sset == InvalidSet:
+		id := s.nextID
+		s.nextID = (s.nextID + 1) % s.maxID
+		s.ssit[li], s.ssit[si] = id, id
+	case lset == InvalidSet:
+		s.ssit[li] = sset
+	case sset == InvalidSet:
+		s.ssit[si] = lset
+	default:
+		s.ssit[si] = lset
+	}
+}
+
+// Clear removes the store-set assignment for pc. Periodic clearing (or
+// clearing on excessive false dependencies) keeps sets from growing stale;
+// the core clears a load's set when it waited on a store that turned out to
+// write a different address.
+func (s *StoreSets) Clear(pc uint64) { s.ssit[s.index(pc)] = InvalidSet }

@@ -1,0 +1,173 @@
+package predictor
+
+import (
+	"testing"
+
+	"rfpsim/internal/prng"
+)
+
+// trainAndScore runs a direction sequence through p, returning accuracy
+// over the second half (after warmup).
+func trainAndScore(p interface {
+	Predict(uint64) bool
+	Update(uint64, bool)
+}, pc uint64, seq []bool) float64 {
+	correct, scored := 0, 0
+	for i, taken := range seq {
+		pred := p.Predict(pc)
+		if i >= len(seq)/2 {
+			scored++
+			if pred == taken {
+				correct++
+			}
+		}
+		p.Update(pc, taken)
+	}
+	return float64(correct) / float64(scored)
+}
+
+func TestTAGELearnsBiasedBranch(t *testing.T) {
+	p := NewTAGE()
+	seq := make([]bool, 2000)
+	for i := range seq {
+		seq[i] = true
+	}
+	if acc := trainAndScore(p, 0x100, seq); acc < 0.99 {
+		t.Errorf("always-taken accuracy = %v", acc)
+	}
+}
+
+func TestTAGELearnsLongPeriodicPattern(t *testing.T) {
+	// Period-7 patterns defeat a bimodal predictor but are trivial for
+	// tagged geometric history.
+	p := NewTAGE()
+	pat := []bool{true, true, false, true, false, false, true}
+	seq := make([]bool, 7000)
+	for i := range seq {
+		seq[i] = pat[i%len(pat)]
+	}
+	if acc := trainAndScore(p, 0x200, seq); acc < 0.95 {
+		t.Errorf("period-7 accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestTAGEBeatsGshareOnLongPatterns(t *testing.T) {
+	// A period-24 pattern exceeds gshare's effective history here but
+	// fits TAGE's longer tables.
+	r := prng.New(77)
+	pat := make([]bool, 24)
+	for i := range pat {
+		pat[i] = r.Bool(0.5)
+	}
+	seq := make([]bool, 40000)
+	for i := range seq {
+		seq[i] = pat[i%len(pat)]
+	}
+	tage := trainAndScore(NewTAGE(), 0x300, seq)
+	gshare := trainAndScore(NewBranch(14, 10), 0x300, seq)
+	if tage < gshare {
+		t.Errorf("TAGE (%v) lost to gshare (%v) on a long pattern", tage, gshare)
+	}
+	if tage < 0.9 {
+		t.Errorf("TAGE accuracy = %v on a learnable pattern", tage)
+	}
+}
+
+func TestTAGERandomIsHard(t *testing.T) {
+	p := NewTAGE()
+	r := prng.New(5)
+	seq := make([]bool, 20000)
+	for i := range seq {
+		seq[i] = r.Bool(0.5)
+	}
+	if acc := trainAndScore(p, 0x400, seq); acc > 0.62 {
+		t.Errorf("random accuracy %v suspiciously high", acc)
+	}
+}
+
+func TestTAGEMultipleBranches(t *testing.T) {
+	// Two branches with opposite biases must not destructively alias.
+	p := NewTAGE()
+	for i := 0; i < 4000; i++ {
+		pa := p.Predict(0x500)
+		p.Update(0x500, true)
+		pb := p.Predict(0x504)
+		p.Update(0x504, false)
+		if i > 3000 {
+			if !pa || pb {
+				t.Fatalf("iteration %d: aliased predictions %v %v", i, pa, pb)
+			}
+		}
+	}
+}
+
+func TestTAGEColdUpdateDoesNotPanic(t *testing.T) {
+	p := NewTAGE()
+	// Update without a preceding Predict for that PC.
+	p.Predict(0x600)
+	p.Update(0x608, true) // different PC: context refresh path
+	p.Update(0x610, false)
+}
+
+func TestFoldHistory(t *testing.T) {
+	if foldHistory(0, 64, 10) != 0 {
+		t.Error("zero history folds nonzero")
+	}
+	// Folding must cover all width bits.
+	h := uint64(0xFFFF_FFFF_FFFF_FFFF)
+	if foldHistory(h, 64, 10) == 0 {
+		t.Error("all-ones history folded to zero")
+	}
+	if foldHistory(h, 130, 10) == foldHistory(h>>1|1<<63, 64, 10) {
+		// Not a strict requirement, but the clamp path must run.
+		t.Log("clamped-length folding exercised")
+	}
+}
+
+func TestTAGEAllocationDecayPath(t *testing.T) {
+	// Force repeated mispredictions with saturated-useful tables so the
+	// usefulness-decay branch runs: many distinct-history hard branches.
+	p := NewTAGE()
+	r := prng.New(123)
+	for i := 0; i < 50000; i++ {
+		pc := uint64(0x1000 + (i%97)*4)
+		p.Predict(pc)
+		p.Update(pc, r.Bool(0.5))
+	}
+	// The predictor must remain functional afterwards.
+	pc := uint64(0x8000)
+	for i := 0; i < 200; i++ {
+		p.Predict(pc)
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Error("TAGE unable to learn after heavy churn")
+	}
+}
+
+func TestTAGEUseAltOnNATraining(t *testing.T) {
+	// Weak (newly allocated) entries that disagree with the alternate
+	// prediction exercise the useAltOnNA counter both directions.
+	p := NewTAGE()
+	r := prng.New(5)
+	for i := 0; i < 20000; i++ {
+		pc := uint64(0x2000 + (i%13)*4)
+		p.Predict(pc)
+		// Biased-but-noisy: allocations happen, weak entries abound.
+		p.Update(pc, r.Bool(0.8))
+	}
+	// Sanity: still better than chance on the biased stream.
+	correct, total := 0, 2000
+	for i := 0; i < total; i++ {
+		pc := uint64(0x2000 + (i%13)*4)
+		pred := p.Predict(pc)
+		taken := r.Bool(0.8)
+		if pred == taken {
+			correct++
+		}
+		p.Update(pc, taken)
+	}
+	if float64(correct)/float64(total) < 0.6 {
+		t.Errorf("accuracy %.2f below the 0.8 bias floor", float64(correct)/float64(total))
+	}
+}

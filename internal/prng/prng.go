@@ -1,0 +1,67 @@
+// Package prng provides a tiny, fast, deterministic pseudo-random number
+// generator (SplitMix64) used by the workload generators and by the RFP
+// probabilistic confidence counters. Determinism matters: the same seed must
+// produce the same trace and the same simulated cycle count on every run,
+// which the test suite asserts.
+package prng
+
+// Source is a SplitMix64 generator. The zero value is a valid generator
+// seeded with 0; use New to seed explicitly.
+type Source struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("prng: Uint64n with zero n")
+	}
+	return s.Uint64() % n
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// OneIn returns true with probability 1/n. It panics if n <= 0.
+func (s *Source) OneIn(n int) bool {
+	if n <= 0 {
+		panic("prng: OneIn with non-positive n")
+	}
+	if n == 1 {
+		return true
+	}
+	return s.Intn(n) == 0
+}

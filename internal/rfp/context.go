@@ -1,0 +1,76 @@
+package rfp
+
+// Context is the optional path-based context prefetcher of §5.5.3, modelled
+// on DLVP's Path-based Address Predictor: it indexes on a hash of the load
+// PC and recent global branch path, and predicts that the load repeats the
+// address it produced the last time the same path led to it. It recovers
+// some loads whose addresses correlate with control flow rather than with
+// a stride; the paper measures only +0.3% on top of the stride table.
+type Context struct {
+	mask    uint64
+	entries []ctxEntry
+	confMax uint8
+}
+
+type ctxEntry struct {
+	tag   uint16
+	addr  uint64
+	conf  uint8
+	valid bool
+}
+
+// NewContext builds a direct-mapped context predictor with the given number
+// of entries (rounded down to a power of two).
+func NewContext(entries int) *Context {
+	size := 1
+	for size*2 <= entries {
+		size *= 2
+	}
+	return &Context{
+		mask:    uint64(size - 1),
+		entries: make([]ctxEntry, size),
+		confMax: 3,
+	}
+}
+
+func (c *Context) index(pc, path uint64) uint64 {
+	h := pc ^ (path * 0x9E3779B97F4A7C15)
+	return (h ^ h>>16) & c.mask
+}
+
+func (c *Context) tag(pc, path uint64) uint16 {
+	h := pc ^ path>>7
+	return uint16(h>>2) | 1
+}
+
+// Predict returns the context-predicted address for (pc, path) when
+// confident.
+func (c *Context) Predict(pc, path uint64) (uint64, bool) {
+	e := &c.entries[c.index(pc, path)]
+	if e.valid && e.tag == c.tag(pc, path) && e.conf >= c.confMax {
+		return e.addr, true
+	}
+	return 0, false
+}
+
+// Train records the actual address a load produced under the given path.
+func (c *Context) Train(pc, path, addr uint64) {
+	e := &c.entries[c.index(pc, path)]
+	tag := c.tag(pc, path)
+	if !e.valid || e.tag != tag {
+		*e = ctxEntry{tag: tag, addr: addr, conf: 0, valid: true}
+		return
+	}
+	if e.addr == addr {
+		if e.conf < c.confMax {
+			e.conf++
+		}
+	} else {
+		e.addr = addr
+		e.conf = 0
+	}
+}
+
+// StorageBits returns the context table's storage cost (16b tag + 64b
+// address + 2b confidence per entry).
+func (c *Context) StorageBits() int { return len(c.entries) * (16 + 64 + 2) }

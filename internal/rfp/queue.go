@@ -1,0 +1,92 @@
+package rfp
+
+// Packet is one RFP prefetch request (§3.2): the predicted virtual address
+// plus the physical destination register of the load it serves. LoadID
+// identifies the in-flight load (its ROB index in this simulator); PRFID is
+// the renamed destination the prefetched data will be written to.
+type Packet struct {
+	// LoadID identifies the load instance this prefetch serves.
+	LoadID int
+	// PC is the load's static program counter.
+	PC uint64
+	// Addr is the predicted virtual address.
+	Addr uint64
+	// PRFID is the load's physical destination register — where the
+	// prefetched data will be written.
+	PRFID int
+	// Slot is the load's reservation-station/ROB slot, used to find the
+	// load and set its RFP-inflight bit in O(1).
+	Slot int
+}
+
+// Queue is the 64-entry RFP FIFO of §3.5. Older requests have priority over
+// younger ones; the whole queue has lower priority than demand loads at the
+// L1 ports. A full queue drops new packets (the load simply executes
+// normally).
+type Queue struct {
+	buf  []Packet
+	head int
+	size int
+}
+
+// NewQueue builds a FIFO with the given capacity.
+func NewQueue(capacity int) *Queue {
+	if capacity <= 0 {
+		panic("rfp: queue capacity must be positive")
+	}
+	return &Queue{buf: make([]Packet, capacity)}
+}
+
+// Len returns the number of queued packets.
+func (q *Queue) Len() int { return q.size }
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return len(q.buf) }
+
+// Push enqueues a packet, reporting false if the queue is full.
+func (q *Queue) Push(p Packet) bool {
+	if q.size == len(q.buf) {
+		return false
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = p
+	q.size++
+	return true
+}
+
+// Peek returns the oldest packet without removing it.
+func (q *Queue) Peek() (Packet, bool) {
+	if q.size == 0 {
+		return Packet{}, false
+	}
+	return q.buf[q.head], true
+}
+
+// Pop removes and returns the oldest packet.
+func (q *Queue) Pop() (Packet, bool) {
+	p, ok := q.Peek()
+	if ok {
+		q.head = (q.head + 1) % len(q.buf)
+		q.size--
+	}
+	return p, ok
+}
+
+// DropWhere removes every queued packet matching pred (used when the
+// corresponding load issues first, §3.3, or is squashed by a branch flush)
+// and returns how many were dropped.
+func (q *Queue) DropWhere(pred func(Packet) bool) int {
+	kept := make([]Packet, 0, q.size)
+	dropped := 0
+	for i := 0; i < q.size; i++ {
+		p := q.buf[(q.head+i)%len(q.buf)]
+		if pred(p) {
+			dropped++
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	q.head = 0
+	q.size = len(kept)
+	copy(q.buf, kept)
+	return dropped
+}

@@ -1,0 +1,302 @@
+package trace
+
+import (
+	"testing"
+
+	"rfpsim/internal/isa"
+	"rfpsim/internal/prng"
+)
+
+// collect drives one kernel instance for n iterations and returns its uops.
+func collect(k kernel, n int) []isa.MicroOp {
+	g := &generator{rng: prng.New(1)}
+	e := &emitter{g: g, pcBase: 0x1000, rng: g.rng, vals: newValueModel(0.3, 0.1)}
+	for i := 0; i < n; i++ {
+		k.emit(e)
+	}
+	return g.queue
+}
+
+func loadsOf(ops []isa.MicroOp) []isa.MicroOp {
+	var out []isa.MicroOp
+	for _, op := range ops {
+		if op.IsLoad() {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+func TestChaseKernelIsSerialAndStrided(t *testing.T) {
+	k := &chaseKernel{base: 0x8000, footprint: 1 << 14, stride: 16, workALUs: 1, ptr: 1, acc: 2}
+	ops := collect(k, 100)
+	loads := loadsOf(ops)
+	if len(loads) != 100 {
+		t.Fatalf("%d loads", len(loads))
+	}
+	for i, l := range loads {
+		// Serial: the address operand is the load's own destination.
+		if l.Src1 != l.Dst {
+			t.Fatal("chase load not self-dependent")
+		}
+		if i > 0 && i < 50 { // before any wrap
+			if l.Addr != loads[i-1].Addr+16 {
+				t.Fatalf("chase stride broken at %d: %#x -> %#x", i, loads[i-1].Addr, l.Addr)
+			}
+		}
+	}
+}
+
+func TestStreamKernelHasTwoStridedStreams(t *testing.T) {
+	k := &streamKernel{
+		base: 0x10000, footprint: 1 << 13, stride: 8, storeEvery: 4,
+		idx: 1, addr: 2, data: 3, data2: 4, acc: 5,
+	}
+	ops := collect(k, 64)
+	loads := loadsOf(ops)
+	if len(loads) != 128 {
+		t.Fatalf("%d loads, want 2 per iteration", len(loads))
+	}
+	// Loads alternate between the two streams, each strided by 8.
+	for i := 2; i < 40; i++ {
+		if loads[i].Addr != loads[i-2].Addr+8 {
+			t.Fatalf("stream %d stride broken at %d", i%2, i)
+		}
+	}
+	// Stores appear every 4th iteration.
+	stores := 0
+	for _, op := range ops {
+		if op.IsStore() {
+			stores++
+		}
+	}
+	if stores != 16 {
+		t.Errorf("%d stores, want 16", stores)
+	}
+}
+
+func TestGatherKernelDependence(t *testing.T) {
+	k := &gatherKernel{
+		idxBase: 0x20000, idxFoot: 1 << 12, idxStride: 8,
+		dataBase: 0x40000, dataFoot: 1 << 16, dataHotProb: 0.75,
+		idxAddr: 1, idx: 2, data: 3, acc: 4,
+	}
+	ops := collect(k, 50)
+	loads := loadsOf(ops)
+	if len(loads) != 100 {
+		t.Fatalf("%d loads", len(loads))
+	}
+	for i := 0; i < len(loads); i += 2 {
+		idxLoad, dataLoad := loads[i], loads[i+1]
+		if dataLoad.Src1 != idxLoad.Dst {
+			t.Fatal("data load does not depend on index load")
+		}
+		if idxLoad.Addr < 0x20000 || idxLoad.Addr >= 0x20000+1<<12 {
+			t.Fatalf("index load outside its region: %#x", idxLoad.Addr)
+		}
+		if dataLoad.Addr < 0x40000 || dataLoad.Addr >= 0x40000+1<<16 {
+			t.Fatalf("data load outside its region: %#x", dataLoad.Addr)
+		}
+	}
+}
+
+func TestGatherHotSubsetSkew(t *testing.T) {
+	k := &gatherKernel{
+		idxBase: 0x20000, idxFoot: 1 << 12, idxStride: 8,
+		dataBase: 0x40000, dataFoot: 1 << 16, dataHotProb: 0.75,
+		idxAddr: 1, idx: 2, data: 3, acc: 4,
+	}
+	ops := collect(k, 2000)
+	loads := loadsOf(ops)
+	hot := 0
+	for i := 1; i < len(loads); i += 2 {
+		if loads[i].Addr < 0x40000+uint64(1<<16)/16 {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(len(loads)/2)
+	if frac < 0.6 || frac > 0.9 {
+		t.Errorf("hot-subset fraction = %.2f, want ~0.75+tail", frac)
+	}
+}
+
+func TestBranchyKernelEntropy(t *testing.T) {
+	k := &branchyKernel{
+		base: 0x30000, footprint: 1 << 12, stride: 8, takenProb: 0.7,
+		addr: 1, data: 2, acc: 3,
+	}
+	ops := collect(k, 3000)
+	dataTaken, dataTotal := 0, 0
+	// Slot 3 is the data-dependent branch, slot 4 the loop branch.
+	for _, op := range ops {
+		if op.IsBranch() && op.PC == 0x1000+3*4 {
+			dataTotal++
+			if op.Taken {
+				dataTaken++
+			}
+		}
+	}
+	if dataTotal == 0 {
+		t.Fatal("no data-dependent branches found")
+	}
+	frac := float64(dataTaken) / float64(dataTotal)
+	if frac < 0.63 || frac > 0.77 {
+		t.Errorf("data branch taken rate = %.2f, want ~0.7", frac)
+	}
+}
+
+func TestHashKernelHotSkewAndUnpredictability(t *testing.T) {
+	k := &hashKernel{
+		base: 0x50000, footprint: 1 << 17, hotProb: 0.9, hotFoot: 1 << 12,
+		h: 1, data: 2, acc: 3, state: 7,
+	}
+	ops := collect(k, 4000)
+	loads := loadsOf(ops)
+	hot, strideRepeats := 0, 0
+	for i, l := range loads {
+		if l.Addr < 0x50000+1<<12 {
+			hot++
+		}
+		if i >= 2 {
+			s1 := int64(loads[i].Addr) - int64(loads[i-1].Addr)
+			s2 := int64(loads[i-1].Addr) - int64(loads[i-2].Addr)
+			if s1 == s2 {
+				strideRepeats++
+			}
+		}
+	}
+	if frac := float64(hot) / float64(len(loads)); frac < 0.85 {
+		t.Errorf("hot fraction = %.2f, want ~0.9", frac)
+	}
+	if frac := float64(strideRepeats) / float64(len(loads)); frac > 0.05 {
+		t.Errorf("hash addresses repeat strides %.2f of the time; must be unpredictable", frac)
+	}
+}
+
+func TestStackKernelForwardingDistance(t *testing.T) {
+	k := &stackKernel{base: 0x60000, slots: 64, depth: 3, sReg: 1, dReg: 2, vReg: 3, side: 4}
+	ops := collect(k, 200)
+	var lastStores []uint64
+	nearHits := 0
+	reloads := 0
+	for _, op := range ops {
+		switch {
+		case op.IsStore():
+			lastStores = append(lastStores, op.Addr)
+		case op.IsLoad():
+			reloads++
+			// The reload must target one of the last `depth+1` stored slots.
+			for i := len(lastStores) - 1; i >= 0 && i >= len(lastStores)-4; i-- {
+				if lastStores[i] == op.Addr {
+					nearHits++
+					break
+				}
+			}
+		}
+	}
+	if reloads == 0 {
+		t.Fatal("no reloads")
+	}
+	if frac := float64(nearHits) / float64(reloads); frac < 0.9 {
+		t.Errorf("only %.2f of reloads target recent stores", frac)
+	}
+}
+
+func TestFPKernelChainStructure(t *testing.T) {
+	k := &fpKernel{
+		base: 0x70000, footprint: 1 << 12, stride: 8, chainLen: 3,
+		addr: 1, data: isa.FirstFPReg, f: [2]isa.RegID{isa.FirstFPReg + 1, isa.FirstFPReg + 2},
+	}
+	ops := collect(k, 10)
+	fmas := 0
+	for _, op := range ops {
+		if op.Class == isa.OpFMA {
+			fmas++
+			// The FMA chain accumulates into f[0]: serial by construction.
+			if op.Dst != isa.FirstFPReg+1 || op.Src1 != isa.FirstFPReg+1 {
+				t.Fatal("FMA chain not self-dependent")
+			}
+		}
+	}
+	if fmas != 30 {
+		t.Errorf("%d FMAs, want chainLen*iters = 30", fmas)
+	}
+}
+
+func TestStencilKernelThreeLoadsOneStore(t *testing.T) {
+	k := &stencilKernel{
+		base: 0x80000, footprint: 1 << 13, stride: 8, outBase: 0x90000,
+		addr: 1, in: [3]isa.RegID{isa.FirstFPReg, isa.FirstFPReg + 1, isa.FirstFPReg + 2},
+		out: isa.FirstFPReg + 3,
+	}
+	ops := collect(k, 20)
+	loads, stores := 0, 0
+	for _, op := range ops {
+		if op.IsLoad() {
+			loads++
+		}
+		if op.IsStore() {
+			stores++
+			if op.Addr < 0x90000 {
+				t.Fatal("store outside output region")
+			}
+		}
+	}
+	if loads != 60 || stores != 20 {
+		t.Errorf("loads=%d stores=%d, want 60/20", loads, stores)
+	}
+}
+
+func TestRandChaseDependenceMix(t *testing.T) {
+	k := &randChaseKernel{base: 0xA0000, footprint: 1 << 20, depProb: 0.4, ptr: 1, idx: 2, acc: 3}
+	ops := collect(k, 3000)
+	dep, total := 0, 0
+	for _, op := range ops {
+		if op.IsLoad() {
+			total++
+			if op.Src1 == k.ptr {
+				dep++
+			}
+		}
+	}
+	frac := float64(dep) / float64(total)
+	if frac < 0.3 || frac > 0.5 {
+		t.Errorf("dependent-load fraction = %.2f, want ~0.4", frac)
+	}
+}
+
+func TestSearchKernelProbeStructure(t *testing.T) {
+	k := &searchKernel{base: 0xB0000, elems: 4096, depth: 5, ptr: 1, acc: 2}
+	ops := collect(k, 500)
+	loads := loadsOf(ops)
+	if len(loads) == 0 {
+		t.Fatal("no probe loads")
+	}
+	// Every probe is serial (address from the previous load's value) and
+	// inside the array.
+	for _, l := range loads {
+		if l.Src1 != l.Dst {
+			t.Fatal("probe not dependent on previous probe")
+		}
+		if l.Addr < 0xB0000 || l.Addr >= 0xB0000+4096*8 {
+			t.Fatalf("probe outside array: %#x", l.Addr)
+		}
+	}
+	// Probes per search are bounded by depth.
+	if perSearch := float64(len(loads)) / 500; perSearch > 5.01 || perSearch < 2 {
+		t.Errorf("%.1f probes per search, want 2..5", perSearch)
+	}
+	// The compare branches are roughly 50/50 — hard for any predictor.
+	taken, total := 0, 0
+	for _, op := range ops {
+		if op.IsBranch() && op.Src1 == isa.RegID(1) {
+			total++
+			if op.Taken {
+				taken++
+			}
+		}
+	}
+	if frac := float64(taken) / float64(total); frac < 0.4 || frac > 0.6 {
+		t.Errorf("compare branch bias %.2f, want ~0.5", frac)
+	}
+}

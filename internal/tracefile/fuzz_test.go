@@ -1,0 +1,73 @@
+package tracefile
+
+import (
+	"bytes"
+	"testing"
+
+	"rfpsim/internal/isa"
+)
+
+// FuzzReaderNeverPanics feeds arbitrary bytes to the trace reader: it must
+// reject or decode them without panicking, and never loop forever.
+func FuzzReaderNeverPanics(f *testing.F) {
+	// Seed with a valid one-record trace and a few corruptions.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	op := isa.MicroOp{PC: 0x40, Class: isa.OpLoad, Dst: 1, Src1: 2, Src2: isa.NoReg, Addr: 0x8000, Size: 8}
+	w.Write(&op)
+	w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte("RFPT"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return // rejected: fine
+		}
+		var op isa.MicroOp
+		for i := 0; i < 1000 && r.Next(&op); i++ {
+			if !op.Dst.Valid() && op.Dst != isa.NoReg {
+				// Arbitrary bytes may decode to out-of-range registers;
+				// the reader's contract is only lossless round-tripping
+				// of valid traces, so this is acceptable — the simulator
+				// validates uops separately. Nothing to assert here.
+				_ = op
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks that any single uop encodes and decodes losslessly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0x40), uint8(6), uint8(1), uint8(2), uint8(255), uint64(0x8000), uint8(8), uint64(42), true, uint64(0))
+	f.Fuzz(func(t *testing.T, pc uint64, class, dst, s1, s2 uint8, addr uint64, size uint8, value uint64, taken bool, target uint64) {
+		in := isa.MicroOp{
+			PC: pc, Class: isa.OpClass(class % uint8(isa.NumOpClasses)),
+			Dst: isa.RegID(dst), Src1: isa.RegID(s1), Src2: isa.RegID(s2),
+			Addr: addr, Size: size, Value: value, Taken: taken, Target: target,
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(&in); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf, "fuzz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out isa.MicroOp
+		if !r.Next(&out) {
+			t.Fatalf("decode failed: %v", r.Err())
+		}
+		in.Seq = 0
+		if out != in {
+			t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", in, out)
+		}
+	})
+}

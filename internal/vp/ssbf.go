@@ -1,0 +1,64 @@
+package vp
+
+// SSBF is the Store Sequence Bloom Filter used by EPP (Alves et al., "Early
+// Address Prediction: Efficient Pipeline Prefetch and Reuse") to validate
+// that no store wrote an early-reused load's line between prediction and
+// retirement. Being a Bloom filter it never misses a real conflict but
+// produces false positives, each of which forces the load to re-execute at
+// retirement — the overhead that makes EPP slightly slower than pure
+// Composite VP in the paper's Figure 15 discussion.
+type SSBF struct {
+	bits       []uint64
+	mask       uint64
+	inserted   int
+	resetEvery int
+}
+
+// NewSSBF builds a filter with sizeBits bits (rounded down to a power of
+// two, minimum 64) that clears itself after resetEvery insertions —
+// matching the epoch-based clearing of the original design.
+func NewSSBF(sizeBits, resetEvery int) *SSBF {
+	n := 64
+	for n*2 <= sizeBits {
+		n *= 2
+	}
+	if resetEvery <= 0 {
+		resetEvery = 1024
+	}
+	return &SSBF{
+		bits:       make([]uint64, n/64),
+		mask:       uint64(n - 1),
+		resetEvery: resetEvery,
+	}
+}
+
+func (f *SSBF) hashes(lineAddr uint64) (uint64, uint64) {
+	h1 := (lineAddr ^ lineAddr>>17) * 0x9E3779B97F4A7C15
+	h2 := (lineAddr ^ lineAddr>>9) * 0xBF58476D1CE4E5B9
+	return h1 & f.mask, (h2 >> 7) & f.mask
+}
+
+func (f *SSBF) set(bit uint64)      { f.bits[bit/64] |= 1 << (bit % 64) }
+func (f *SSBF) get(bit uint64) bool { return f.bits[bit/64]&(1<<(bit%64)) != 0 }
+
+// InsertStore records a store to lineAddr.
+func (f *SSBF) InsertStore(lineAddr uint64) {
+	b1, b2 := f.hashes(lineAddr)
+	f.set(b1)
+	f.set(b2)
+	f.inserted++
+	if f.inserted >= f.resetEvery {
+		for i := range f.bits {
+			f.bits[i] = 0
+		}
+		f.inserted = 0
+	}
+}
+
+// MayConflict reports whether a store to lineAddr may have occurred since
+// the last epoch reset. False positives are possible; false negatives
+// within an epoch are not.
+func (f *SSBF) MayConflict(lineAddr uint64) bool {
+	b1, b2 := f.hashes(lineAddr)
+	return f.get(b1) && f.get(b2)
+}

@@ -1,0 +1,98 @@
+package vp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rfpsim/internal/config"
+)
+
+// Property: for any value stride and base, a long consistent run makes
+// EVES predict the correct next value with the right number of
+// outstanding instances folded in.
+func TestEVESStrideLearningProperty(t *testing.T) {
+	f := func(strideRaw int16, baseRaw uint32, outstandingRaw uint8) bool {
+		stride := int64(strideRaw)
+		base := uint64(baseRaw)
+		outstanding := int(outstandingRaw%6) + 1
+		v := NewEVES(config.VPConfig{Entries: 256, ConfMax: 3, ConfProb: 1}, 1)
+		pc := uint64(0x40)
+		val := base
+		for i := 0; i < 10; i++ {
+			v.Train(pc, val)
+			val = uint64(int64(val) + stride)
+		}
+		last := uint64(int64(base) + 9*stride)
+		var got uint64
+		var ok bool
+		for i := 0; i < outstanding; i++ {
+			got, ok = v.Predict(pc)
+			if !ok {
+				return false
+			}
+		}
+		want := uint64(int64(last) + stride*int64(outstanding))
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: predict/train call balance never corrupts the in-flight
+// counter — after draining all predictions with matching trains, a fresh
+// prediction equals last + stride.
+func TestEVESInflightBalanceProperty(t *testing.T) {
+	f := func(burstRaw uint8) bool {
+		burst := int(burstRaw%10) + 1
+		v := NewEVES(config.VPConfig{Entries: 256, ConfMax: 2, ConfProb: 1}, 1)
+		pc := uint64(0x80)
+		val := uint64(1000)
+		for i := 0; i < 8; i++ {
+			v.Train(pc, val)
+			val += 8
+		}
+		// Burst of predictions, then matching trains.
+		for i := 0; i < burst; i++ {
+			if _, ok := v.Predict(pc); !ok {
+				return false
+			}
+		}
+		for i := 0; i < burst; i++ {
+			v.Train(pc, val)
+			val += 8
+		}
+		got, ok := v.Predict(pc)
+		v.Squash(pc)
+		return ok && got == val // val is last trained + 8 already
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DLVP's address learning mirrors EVES on addresses for any
+// stride/path.
+func TestDLVPStrideLearningProperty(t *testing.T) {
+	f := func(strideRaw int16, pathRaw uint16) bool {
+		stride := int64(strideRaw)
+		path := uint64(pathRaw)
+		d := NewDLVP(config.VPConfig{Entries: 512, ConfMax: 2, ConfProb: 1}, 1)
+		pc := uint64(0x300)
+		addr := uint64(1 << 30)
+		for i := 0; i < 8; i++ {
+			d.TrainAddr(pc, path, addr)
+			addr = uint64(int64(addr) + stride)
+		}
+		p := d.PredictAddr(pc, path)
+		if !p.HighConfidence {
+			return false
+		}
+		last := uint64(int64(1<<30) + 7*stride)
+		d.Squash(pc, path)
+		return p.Addr == uint64(int64(last)+stride)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

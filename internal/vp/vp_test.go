@@ -1,0 +1,250 @@
+package vp
+
+import (
+	"testing"
+
+	"rfpsim/internal/config"
+)
+
+func evesCfg() config.VPConfig {
+	return config.VPConfig{Entries: 1024, ConfMax: 4, ConfProb: 1}
+}
+
+func TestEVESLearnsConstant(t *testing.T) {
+	v := NewEVES(evesCfg(), 1)
+	pc := uint64(0x100)
+	for i := 0; i < 10; i++ {
+		v.Train(pc, 42)
+	}
+	val, ok := v.Predict(pc)
+	if !ok || val != 42 {
+		t.Errorf("constant prediction = %d ok=%v, want 42", val, ok)
+	}
+}
+
+func TestEVESLearnsStridedValues(t *testing.T) {
+	v := NewEVES(evesCfg(), 1)
+	pc := uint64(0x104)
+	for i := uint64(0); i < 10; i++ {
+		v.Train(pc, 100+8*i)
+	}
+	// Last trained value 172; one instance in flight → predict 180.
+	val, ok := v.Predict(pc)
+	if !ok || val != 180 {
+		t.Errorf("strided prediction = %d ok=%v, want 180", val, ok)
+	}
+	// Second outstanding instance → 188.
+	val, ok = v.Predict(pc)
+	if !ok || val != 188 {
+		t.Errorf("second strided prediction = %d, want 188", val)
+	}
+}
+
+func TestEVESRandomValuesNotPredicted(t *testing.T) {
+	v := NewEVES(evesCfg(), 1)
+	pc := uint64(0x108)
+	vals := []uint64{5, 99, 3, 1234, 7, 42, 8, 77, 23, 6}
+	for _, x := range vals {
+		v.Train(pc, x)
+	}
+	if _, ok := v.Predict(pc); ok {
+		t.Error("random values predicted")
+	}
+}
+
+func TestEVESValueChangeResetsConfidence(t *testing.T) {
+	v := NewEVES(evesCfg(), 1)
+	pc := uint64(0x10c)
+	for i := 0; i < 10; i++ {
+		v.Train(pc, 7)
+	}
+	v.Train(pc, 1000)
+	if _, ok := v.Predict(pc); ok {
+		t.Error("still confident after value change")
+	}
+}
+
+func TestEVESSquashReleasesInflight(t *testing.T) {
+	v := NewEVES(evesCfg(), 1)
+	pc := uint64(0x110)
+	for i := uint64(0); i < 10; i++ {
+		v.Train(pc, 8*i)
+	}
+	a, _ := v.Predict(pc)
+	v.Squash(pc)
+	b, _ := v.Predict(pc)
+	if a != b {
+		t.Errorf("squash did not rewind inflight: %d vs %d", a, b)
+	}
+}
+
+func TestEVESColdPredictsNothing(t *testing.T) {
+	v := NewEVES(evesCfg(), 1)
+	if _, ok := v.Predict(0x999); ok {
+		t.Error("cold predictor predicted")
+	}
+}
+
+func TestEVESProbabilisticConfidence(t *testing.T) {
+	cfg := evesCfg()
+	cfg.ConfProb = 8
+	v := NewEVES(cfg, 3)
+	pc := uint64(0x200)
+	for i := 0; i < 5; i++ {
+		v.Train(pc, 1)
+	}
+	if _, ok := v.Predict(pc); ok {
+		t.Error("p=1/8 counter saturated after 4 repeats")
+	}
+	for i := 0; i < 400; i++ {
+		v.Train(pc, 1)
+	}
+	if _, ok := v.Predict(pc); !ok {
+		t.Error("p=1/8 counter not saturated after 400 repeats")
+	}
+}
+
+func TestDLVPAddressPrediction(t *testing.T) {
+	d := NewDLVP(evesCfg(), 1)
+	pc, path := uint64(0x300), uint64(0x7)
+	for i := uint64(0); i < 12; i++ {
+		d.TrainAddr(pc, path, 0x8000+8*i)
+	}
+	p := d.PredictAddr(pc, path)
+	if !p.Match || !p.HighConfidence {
+		t.Fatalf("trained DLVP: match=%v hc=%v", p.Match, p.HighConfidence)
+	}
+	if p.Addr != 0x8000+8*11+8 {
+		t.Errorf("predicted %#x", p.Addr)
+	}
+}
+
+func TestDLVPPathSensitivity(t *testing.T) {
+	d := NewDLVP(evesCfg(), 1)
+	pc := uint64(0x304)
+	// Same PC, two paths, two different (constant) addresses.
+	for i := 0; i < 12; i++ {
+		d.TrainAddr(pc, 0x1, 0x111000)
+		d.TrainAddr(pc, 0x2, 0x222000)
+	}
+	p1 := d.PredictAddr(pc, 0x1)
+	p2 := d.PredictAddr(pc, 0x2)
+	if !p1.HighConfidence || !p2.HighConfidence {
+		t.Fatal("path-split training not confident")
+	}
+	if p1.Addr != 0x111000 || p2.Addr != 0x222000 {
+		t.Errorf("path predictions %#x / %#x", p1.Addr, p2.Addr)
+	}
+}
+
+func TestDLVPLowVsHighConfidence(t *testing.T) {
+	d := NewDLVP(config.VPConfig{Entries: 1024, ConfMax: 8, ConfProb: 1}, 1)
+	pc, path := uint64(0x308), uint64(0)
+	// 4 stride repeats: matching but below the high threshold of 8.
+	for i := uint64(0); i < 5; i++ {
+		d.TrainAddr(pc, path, 0x9000+8*i)
+	}
+	p := d.PredictAddr(pc, path)
+	if !p.Match {
+		t.Error("stride repeats should at least Match")
+	}
+	if p.HighConfidence {
+		t.Error("high confidence reached too early")
+	}
+}
+
+func TestDLVPSquash(t *testing.T) {
+	d := NewDLVP(evesCfg(), 1)
+	pc, path := uint64(0x30c), uint64(0)
+	for i := uint64(0); i < 12; i++ {
+		d.TrainAddr(pc, path, 8*i)
+	}
+	a := d.PredictAddr(pc, path).Addr
+	d.Squash(pc, path)
+	b := d.PredictAddr(pc, path).Addr
+	if a != b {
+		t.Error("squash did not rewind DLVP inflight")
+	}
+}
+
+func TestNoFwdFilter(t *testing.T) {
+	d := NewDLVP(evesCfg(), 1)
+	pc := uint64(0x400)
+	if !d.AllowedByNoFwd(pc) {
+		t.Error("cold no-fwd filter must allow")
+	}
+	d.TrainFwd(pc, true)
+	d.TrainFwd(pc, true)
+	if d.AllowedByNoFwd(pc) {
+		t.Error("repeatedly forwarded load still allowed")
+	}
+	// Decay re-enables.
+	for i := 0; i < 4; i++ {
+		d.TrainFwd(pc, false)
+	}
+	if !d.AllowedByNoFwd(pc) {
+		t.Error("filter did not decay")
+	}
+}
+
+func TestSSBFNoFalseNegativesWithinEpoch(t *testing.T) {
+	f := NewSSBF(1024, 1<<30)
+	addrs := []uint64{0x1000, 0x2040, 0x3080, 0x40C0}
+	for _, a := range addrs {
+		f.InsertStore(a)
+	}
+	for _, a := range addrs {
+		if !f.MayConflict(a) {
+			t.Errorf("false negative for %#x", a)
+		}
+	}
+}
+
+func TestSSBFFalsePositivesExist(t *testing.T) {
+	f := NewSSBF(256, 1<<30) // small filter, heavy load
+	for i := uint64(0); i < 200; i++ {
+		f.InsertStore(i * 64)
+	}
+	fp := 0
+	for i := uint64(1000); i < 1200; i++ {
+		if f.MayConflict(i * 64) {
+			fp++
+		}
+	}
+	if fp == 0 {
+		t.Error("a saturated small Bloom filter must produce false positives")
+	}
+}
+
+func TestSSBFEpochReset(t *testing.T) {
+	f := NewSSBF(1024, 4)
+	for i := uint64(0); i < 4; i++ { // 4th insert triggers reset
+		f.InsertStore(i * 64)
+	}
+	if f.MayConflict(0) {
+		t.Error("filter not cleared after epoch")
+	}
+}
+
+func TestSSBFFreshIsEmpty(t *testing.T) {
+	f := NewSSBF(1024, 100)
+	hits := 0
+	for i := uint64(0); i < 100; i++ {
+		if f.MayConflict(i * 64) {
+			hits++
+		}
+	}
+	if hits != 0 {
+		t.Errorf("fresh filter reported %d conflicts", hits)
+	}
+}
+
+func TestEVESTinyTableStillWorks(t *testing.T) {
+	v := NewEVES(config.VPConfig{Entries: 1, ConfMax: 2, ConfProb: 1}, 1)
+	for i := 0; i < 8; i++ {
+		v.Train(0x10, 5)
+	}
+	if val, ok := v.Predict(0x10); !ok || val != 5 {
+		t.Error("minimum-size EVES broken")
+	}
+}
