@@ -8,6 +8,8 @@
 package rfpsim_bench
 
 import (
+	"context"
+
 	"testing"
 
 	"rfpsim/internal/config"
@@ -46,7 +48,7 @@ func runExperiment(b *testing.B, id string, metricKeys ...string) {
 	opts := benchOpts()
 	var last *experiments.Result
 	for i := 0; i < b.N; i++ {
-		res, err := e.Run(opts)
+		res, err := e.Run(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -68,7 +70,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ResetTimer()
 	const chunk = 10000
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Run(chunk); err != nil {
+		if _, err := c.Run(context.Background(), chunk); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -84,7 +86,7 @@ func BenchmarkRFPSimulatorThroughput(b *testing.B) {
 	b.ResetTimer()
 	const chunk = 10000
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Run(chunk); err != nil {
+		if _, err := c.Run(context.Background(), chunk); err != nil {
 			b.Fatal(err)
 		}
 	}

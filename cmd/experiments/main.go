@@ -12,12 +12,15 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"rfpsim/internal/experiments"
@@ -61,16 +64,40 @@ func main() {
 	opts.Parallel = *parallel
 	opts.Seeds = *seeds
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var csvW *csv.Writer
+	var csvFile *os.File
 	if *csvPath != "" {
 		f, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		csvFile = f
 		csvW = csv.NewWriter(f)
-		defer csvW.Flush()
+		// A fresh (empty) file gets the column header; appending to an
+		// existing file must not repeat it.
+		if st, err := f.Stat(); err == nil && st.Size() == 0 {
+			csvW.Write([]string{"experiment", "metric", "value"})
+		}
+	}
+	// flushCSV surfaces buffered csv.Writer errors — a full disk must not
+	// produce a silently truncated CSV and exit code 0.
+	flushCSV := func() {
+		if csvW == nil {
+			return
+		}
+		csvW.Flush()
+		if err := csvW.Error(); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *csvPath, err)
+			os.Exit(1)
+		}
+		if err := csvFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "closing %s: %v\n", *csvPath, err)
+			os.Exit(1)
+		}
 	}
 
 	var ids []string
@@ -89,7 +116,7 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		res, err := e.Run(opts)
+		res, err := e.Run(ctx, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
 			os.Exit(1)
@@ -102,4 +129,5 @@ func main() {
 			}
 		}
 	}
+	flushCSV()
 }

@@ -10,13 +10,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"rfpsim/internal/config"
 	"rfpsim/internal/core"
-	"rfpsim/internal/isa"
+	"rfpsim/internal/runner"
 	"rfpsim/internal/stats"
 	"rfpsim/internal/trace"
 	"rfpsim/internal/tracefile"
@@ -92,8 +95,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	var gen isa.Generator
-	label := trace.Spec{}
+	// Ctrl-C / SIGTERM cancels the in-flight simulation promptly instead
+	// of leaving it to run to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	job := runner.Job{
+		Config:      cfg,
+		WarmupUops:  *warmup,
+		MeasureUops: *measure,
+		ColdCaches:  *noWarmC,
+	}
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
@@ -106,41 +118,39 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		gen = r
-		label = trace.Spec{Name: *traceFile, Category: "trace-file"}
+		job.Gen = r
+		job.Spec = trace.Spec{Name: *traceFile, Category: "trace-file"}
 	} else {
 		spec, ok := trace.ByName(*workload)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown workload %q (use -listworkloads)\n", *workload)
 			os.Exit(2)
 		}
-		gen = spec.New()
-		label = spec
+		job.Spec = spec
 	}
 
-	c := core.New(cfg, gen)
-	if !*noWarmC {
-		c.WarmCaches()
+	// The observer hook fires between warmup and the measured run, which
+	// is where pipeline tracing and profiling attach.
+	var observed *core.Core
+	job.AfterWarmup = func(c *core.Core) {
+		observed = c
+		if *pipeTrace > 0 {
+			c.AttachPipeTrace(os.Stderr, c.Cycle(), c.Cycle()+*pipeTrace)
+		}
+		if *profile {
+			c.EnableProfile()
+		}
 	}
-	if err := c.Warmup(*warmup); err != nil {
-		fmt.Fprintf(os.Stderr, "warmup failed: %v\n", err)
-		os.Exit(1)
-	}
-	if *pipeTrace > 0 {
-		c.AttachPipeTrace(os.Stderr, c.Cycle(), c.Cycle()+*pipeTrace)
-	}
-	if *profile {
-		c.EnableProfile()
-	}
-	st, err := c.Run(*measure)
+
+	st, err := runner.Run(ctx, job)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
 		os.Exit(1)
 	}
-	printStats(cfg.Name, label, st)
+	printStats(cfg.Name, job.Spec, st)
 	if *profile {
 		fmt.Println("\nper-PC load profile (top 15):")
-		fmt.Println(c.Profile())
+		fmt.Println(observed.Profile())
 	}
 }
 

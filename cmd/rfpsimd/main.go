@@ -1,0 +1,72 @@
+// Command rfpsimd is the long-running simulation daemon: it accepts
+// simulation jobs over HTTP, runs them on a bounded worker pool with
+// backpressure, caches results by content address, and exposes
+// Prometheus-style metrics. See docs/service.md for the API and a curl
+// quickstart.
+//
+// Usage:
+//
+//	rfpsimd [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	        [-timeout 5m] [-maxuops N] [-drain 30s]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rfpsim/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = NumCPU)")
+		queue   = flag.Int("queue", 0, "queued-job bound before 429s (0 = 4x workers)")
+		cache   = flag.Int("cache", 0, "result cache entries (0 = 4096)")
+		timeout = flag.Duration("timeout", 10*time.Minute, "default per-job timeout (0 = none)")
+		maxUops = flag.Uint64("maxuops", 0, "per-job uop ceiling, (warmup+measure)*seeds (0 = 50M)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline on SIGTERM/SIGINT")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		MaxJobUops:     *maxUops,
+		DefaultTimeout: *timeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("rfpsimd listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("rfpsimd: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting connections, let in-flight handlers
+	// (and the jobs they wait on) finish within the deadline, then stop
+	// the worker pool.
+	log.Printf("rfpsimd: draining (deadline %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "rfpsimd: shutdown: %v\n", err)
+	}
+	svc.Close()
+	log.Printf("rfpsimd: drained")
+}

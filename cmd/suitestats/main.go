@@ -4,21 +4,28 @@
 // keep the synthetic suite aligned with the paper's population-level facts
 // (≈93% L1 hits, ≈43% RFP coverage, FSPEC insensitivity).
 //
+// A workload whose pipeline wedges (a model bug) no longer aborts the
+// whole sweep: its error is recorded, the surviving rows still print, and
+// the command exits non-zero at the end.
+//
 // Usage:
 //
 //	suitestats [-rfp] [-sort ipc|l1|coverage|gain] [-warmup N] [-measure N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"sync"
+	"syscall"
 
 	"rfpsim/internal/config"
-	"rfpsim/internal/core"
+	"rfpsim/internal/runner"
 	"rfpsim/internal/stats"
 	"rfpsim/internal/trace"
 )
@@ -27,6 +34,7 @@ type row struct {
 	spec trace.Spec
 	base *stats.Sim
 	rfp  *stats.Sim
+	err  error
 }
 
 func main() {
@@ -38,6 +46,9 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	specs := trace.Catalog()
 	rows := make([]row, len(specs))
 	sem := make(chan struct{}, runtime.NumCPU())
@@ -48,19 +59,24 @@ func main() {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			rows[i] = row{
-				spec: spec,
-				base: run(config.Baseline(), spec, *warmup, *measure),
+			// Errors (a wedged pipeline, cancellation) are recorded in the
+			// row instead of exiting: killing the process from a worker
+			// goroutine would discard every in-flight sibling's work.
+			r := row{spec: spec}
+			r.base, r.err = run(ctx, config.Baseline(), spec, *warmup, *measure)
+			if r.err == nil && *withRFP {
+				r.rfp, r.err = run(ctx, config.Baseline().WithRFP(), spec, *warmup, *measure)
 			}
-			if *withRFP {
-				rows[i].rfp = run(config.Baseline().WithRFP(), spec, *warmup, *measure)
-			}
+			rows[i] = r
 		}(i, spec)
 	}
 	wg.Wait()
 
 	sort.Slice(rows, func(a, b int) bool {
 		key := func(r row) float64 {
+			if r.err != nil {
+				return 0
+			}
 			switch *sortBy {
 			case "ipc":
 				return r.base.IPC()
@@ -82,7 +98,12 @@ func main() {
 	})
 
 	var l1s, ipcs, covs, gains []float64
+	nErr := 0
 	for _, r := range rows {
+		if r.err != nil {
+			nErr++
+			continue
+		}
 		fmt.Printf("%-22s IPC %5.2f  L1 %5.1f%%  L2 %4.1f%%  Mem %4.1f%%",
 			r.spec.Name, r.base.IPC(),
 			100*r.base.LoadLevelFrac(stats.LevelL1),
@@ -98,25 +119,30 @@ func main() {
 		}
 		fmt.Println()
 	}
-	fmt.Printf("\nsuite means: IPC %.2f, L1 %s", stats.Mean(ipcs), stats.Pct(stats.Mean(l1s)))
+	fmt.Printf("\nsuite means (%d/%d workloads): IPC %.2f, L1 %s",
+		len(ipcs), len(rows), stats.Mean(ipcs), stats.Pct(stats.Mean(l1s)))
 	if *withRFP {
 		fmt.Printf(", coverage %s, geomean gain %s",
 			stats.Pct(stats.Mean(covs)), stats.Pct(stats.GeoMeanSpeedup(gains)))
 	}
 	fmt.Println()
+
+	if nErr > 0 {
+		for _, r := range rows {
+			if r.err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", r.spec.Name, r.err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%d of %d workloads failed\n", nErr, len(rows))
+		os.Exit(1)
+	}
 }
 
-func run(cfg config.Core, spec trace.Spec, warmup, measure uint64) *stats.Sim {
-	c := core.New(cfg, spec.New())
-	c.WarmCaches()
-	if err := c.Warmup(warmup); err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", spec.Name, err)
-		os.Exit(1)
-	}
-	st, err := c.Run(measure)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", spec.Name, err)
-		os.Exit(1)
-	}
-	return st
+func run(ctx context.Context, cfg config.Core, spec trace.Spec, warmup, measure uint64) (*stats.Sim, error) {
+	return runner.Run(ctx, runner.Job{
+		Config:      cfg,
+		Spec:        spec,
+		WarmupUops:  warmup,
+		MeasureUops: measure,
+	})
 }

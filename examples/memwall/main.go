@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -65,10 +66,10 @@ func runAll(cfg config.Core) []*stats.Sim {
 		}
 		c := core.New(cfg, spec.New())
 		c.WarmCaches()
-		if err := c.Warmup(20000); err != nil {
+		if err := c.Warmup(context.Background(), 20000); err != nil {
 			log.Fatal(err)
 		}
-		st, err := c.Run(40000)
+		st, err := c.Run(context.Background(), 40000)
 		if err != nil {
 			log.Fatal(err)
 		}

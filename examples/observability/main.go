@@ -10,6 +10,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -27,14 +28,14 @@ func main() {
 	c := core.New(config.Baseline().WithRFP(), spec.New())
 	c.WarmCaches()
 	c.EnableProfile()
-	if err := c.Warmup(30000); err != nil {
+	if err := c.Warmup(context.Background(), 30000); err != nil {
 		log.Fatal(err)
 	}
 
 	// Capture a short window of pipeline events.
 	var buf bytes.Buffer
 	c.AttachPipeTrace(&buf, c.Cycle(), c.Cycle()+40)
-	if _, err := c.Run(30000); err != nil {
+	if _, err := c.Run(context.Background(), 30000); err != nil {
 		log.Fatal(err)
 	}
 	c.AttachPipeTrace(nil, 0, 0)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -65,10 +66,10 @@ func main() {
 			log.Fatal(err)
 		}
 		c := core.New(cfg, r)
-		if err := c.Warmup(50000); err != nil {
+		if err := c.Warmup(context.Background(), 50000); err != nil {
 			log.Fatal(err)
 		}
-		st, err := c.Run(100000)
+		st, err := c.Run(context.Background(), 100000)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,10 +28,10 @@ func main() {
 	measure := func(cfg config.Core) *stats.Sim {
 		c := core.New(cfg, spec.New())
 		c.WarmCaches()
-		if err := c.Warmup(30000); err != nil {
+		if err := c.Warmup(context.Background(), 30000); err != nil {
 			log.Fatal(err)
 		}
-		st, err := c.Run(60000)
+		st, err := c.Run(context.Background(), 60000)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -55,10 +56,10 @@ func report(name string, baseCfg, featCfg config.Core) {
 func run(cfg config.Core, spec trace.Spec) *stats.Sim {
 	c := core.New(cfg, spec.New())
 	c.WarmCaches()
-	if err := c.Warmup(20000); err != nil {
+	if err := c.Warmup(context.Background(), 20000); err != nil {
 		log.Fatal(err)
 	}
-	st, err := c.Run(40000)
+	st, err := c.Run(context.Background(), 40000)
 	if err != nil {
 		log.Fatal(err)
 	}

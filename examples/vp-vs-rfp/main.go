@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -67,10 +68,10 @@ func runAll(cfg config.Core) []*stats.Sim {
 		}
 		c := core.New(cfg, spec.New())
 		c.WarmCaches()
-		if err := c.Warmup(20000); err != nil {
+		if err := c.Warmup(context.Background(), 20000); err != nil {
 			log.Fatal(err)
 		}
-		st, err := c.Run(40000)
+		st, err := c.Run(context.Background(), 40000)
 		if err != nil {
 			log.Fatal(err)
 		}

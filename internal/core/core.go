@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"rfpsim/internal/config"
@@ -188,14 +189,30 @@ func (c *Core) OnCommit(fn func(*isa.MicroOp)) { c.onCommit = fn }
 // Cycle returns the current simulated cycle.
 func (c *Core) Cycle() uint64 { return c.cycle }
 
+// ctxCheckInterval is how many cycles pass between context polls inside
+// Run. Powers of two keep the check a mask in the hot loop.
+const ctxCheckInterval = 1024
+
 // Run simulates until n uops commit (or the workload ends) and returns the
-// statistics. It returns an error if the pipeline wedges (a model bug) —
-// detected as a long streak of cycles without any commit.
-func (c *Core) Run(n uint64) (*stats.Sim, error) {
+// statistics. The context cancels an in-flight simulation: Run polls it
+// every ctxCheckInterval cycles and returns ctx.Err() (wrapped) with the
+// statistics window closed at the interruption point. It also returns an
+// error if the pipeline wedges (a model bug) — detected as a long streak of
+// cycles without any commit.
+func (c *Core) Run(ctx context.Context, n uint64) (*stats.Sim, error) {
 	target := c.committed + n
 	lastCommitted := c.committed
 	idle := 0
 	for c.committed < target {
+		if c.cycle%ctxCheckInterval == 0 {
+			select {
+			case <-ctx.Done():
+				c.st.Cycles = c.cycle - c.cycleBase
+				c.st.Instructions = c.committed - c.commitBase
+				return c.st, fmt.Errorf("core: run cancelled at cycle %d: %w", c.cycle, ctx.Err())
+			default:
+			}
+		}
 		c.step()
 		if c.committed == lastCommitted {
 			idle++
@@ -229,9 +246,10 @@ func (c *Core) ResetStats() {
 	}
 }
 
-// Warmup runs n uops and then resets statistics, returning any error.
-func (c *Core) Warmup(n uint64) error {
-	_, err := c.Run(n)
+// Warmup runs n uops and then resets statistics, returning any error. The
+// context cancels the warmup the same way it cancels Run.
+func (c *Core) Warmup(ctx context.Context, n uint64) error {
+	_, err := c.Run(ctx, n)
 	c.ResetStats()
 	return err
 }

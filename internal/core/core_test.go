@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"rfpsim/internal/config"
@@ -46,7 +47,7 @@ func (g *loopGen) Next(op *isa.MicroOp) bool {
 func run(t *testing.T, cfg config.Core, gen isa.Generator, n uint64) *stats.Sim {
 	t.Helper()
 	c := New(cfg, gen)
-	st, err := c.Run(n)
+	st, err := c.Run(context.Background(), n)
 	if err != nil {
 		t.Fatalf("run failed: %v", err)
 	}
@@ -323,7 +324,7 @@ func TestVPMispredictsFlushAndStayCorrect(t *testing.T) {
 	cfg := config.Baseline().WithVP(config.VPEVES)
 	cfg.VP.ConfMax = 2 // low threshold: force some mispredicts
 	c := New(cfg, &valueFlipGen{g})
-	st, err := c.Run(20000)
+	st, err := c.Run(context.Background(), 20000)
 	if err != nil {
 		t.Fatalf("run failed: %v", err)
 	}
@@ -354,8 +355,8 @@ func TestDeterministicCycleCounts(t *testing.T) {
 	cfg := config.Baseline().WithRFP()
 	a := New(cfg, spec.New())
 	b := New(cfg, spec.New())
-	stA, errA := a.Run(15000)
-	stB, errB := b.Run(15000)
+	stA, errA := a.Run(context.Background(), 15000)
+	stB, errB := b.Run(context.Background(), 15000)
 	if errA != nil || errB != nil {
 		t.Fatalf("runs failed: %v %v", errA, errB)
 	}
@@ -390,7 +391,7 @@ func TestAllWorkloadsRunOnAllFeatureConfigs(t *testing.T) {
 				t.Fatalf("workload %s missing", name)
 			}
 			c := New(cfg, spec.New())
-			st, err := c.Run(8000)
+			st, err := c.Run(context.Background(), 8000)
 			if err != nil {
 				t.Errorf("%s on %s: %v", name, cfg.Name, err)
 				continue
@@ -410,10 +411,10 @@ func TestLoadDistributionMostlyL1(t *testing.T) {
 	// 92.8%); check a cache-friendly workload after cache warmup.
 	spec, _ := trace.ByName("spec06_hmmer")
 	c := New(config.Baseline(), spec.New())
-	if err := c.Warmup(40000); err != nil {
+	if err := c.Warmup(context.Background(), 40000); err != nil {
 		t.Fatal(err)
 	}
-	st, err := c.Run(30000)
+	st, err := c.Run(context.Background(), 30000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,7 +439,7 @@ func TestMemBoundWorkloadMissesCaches(t *testing.T) {
 func TestRunStopsAtTarget(t *testing.T) {
 	g := &loopGen{name: "x", body: []isa.MicroOp{alu(0x10, 1, 1, isa.NoReg)}}
 	c := New(config.Baseline(), g)
-	st, err := c.Run(500)
+	st, err := c.Run(context.Background(), 500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -446,7 +447,7 @@ func TestRunStopsAtTarget(t *testing.T) {
 		t.Errorf("committed %d, want ~500", st.Instructions)
 	}
 	// Run again: resumes where it stopped.
-	st, err = c.Run(500)
+	st, err = c.Run(context.Background(), 500)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"rfpsim/internal/config"
@@ -24,7 +25,7 @@ func TestVPRFPFusionExclusive(t *testing.T) {
 	g.body[0].Value = 0x1234
 	cfg := config.Baseline().WithVP(config.VPEVES).WithRFP()
 	c := New(cfg, g)
-	st, err := c.Run(30000)
+	st, err := c.Run(context.Background(), 30000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,13 +80,13 @@ func TestRFPDropOnTLBMissBehavior(t *testing.T) {
 func TestWarmCachesMakesColdStartWarm(t *testing.T) {
 	spec, _ := trace.ByName("spec06_hmmer")
 	cold := New(config.Baseline(), spec.New())
-	stCold, err := cold.Run(20000)
+	stCold, err := cold.Run(context.Background(), 20000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	warm := New(config.Baseline(), spec.New())
 	warm.WarmCaches()
-	stWarm, err := warm.Run(20000)
+	stWarm, err := warm.Run(context.Background(), 20000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestWarmupWindowExcludesTrainingNoise(t *testing.T) {
 	spec, _ := trace.ByName("spec06_hmmer")
 	coldStats := func() *stats.Sim {
 		c := New(config.Baseline(), spec.New())
-		st, err := c.Run(20000)
+		st, err := c.Run(context.Background(), 20000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -109,10 +110,10 @@ func TestWarmupWindowExcludesTrainingNoise(t *testing.T) {
 	}()
 	warmStats := func() *stats.Sim {
 		c := New(config.Baseline(), spec.New())
-		if err := c.Warmup(20000); err != nil {
+		if err := c.Warmup(context.Background(), 20000); err != nil {
 			t.Fatal(err)
 		}
-		st, err := c.Run(20000)
+		st, err := c.Run(context.Background(), 20000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,10 +151,10 @@ func TestRFPOnL1MissBringsOuterData(t *testing.T) {
 	}
 	cfg := config.Baseline().WithRFP()
 	c := New(cfg, mk())
-	if err := c.Warmup(20000); err != nil { // first pass warms L2
+	if err := c.Warmup(context.Background(), 20000); err != nil { // first pass warms L2
 		t.Fatal(err)
 	}
-	st, err := c.Run(20000)
+	st, err := c.Run(context.Background(), 20000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestOnCommitHookOrder(t *testing.T) {
 		}
 		i++
 	})
-	if _, err := c.Run(9000); err != nil {
+	if _, err := c.Run(context.Background(), 9000); err != nil {
 		t.Fatal(err)
 	}
 	if i < 9000 {
@@ -209,10 +210,10 @@ func TestDLVPProbeLifecycleOnStrideLoop(t *testing.T) {
 	}
 	cfg := config.Baseline().WithVP(config.VPDLVP)
 	c := New(cfg, mk())
-	if err := c.Warmup(20000); err != nil {
+	if err := c.Warmup(context.Background(), 20000); err != nil {
 		t.Fatal(err)
 	}
-	st, err := c.Run(20000)
+	st, err := c.Run(context.Background(), 20000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestDLVPStaleProbeDetectedViaForwarding(t *testing.T) {
 	}
 	cfg := config.Baseline().WithVP(config.VPDLVP)
 	c := New(cfg, &loopGen{name: "stale", body: body})
-	st, err := c.Run(30000)
+	st, err := c.Run(context.Background(), 30000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,10 +285,10 @@ func TestCompositeCoversMoreThanEVES(t *testing.T) {
 	}
 	runMode := func(mode config.VPMode) *stats.Sim {
 		c := New(config.Baseline().WithVP(mode), mk(1))
-		if err := c.Warmup(20000); err != nil {
+		if err := c.Warmup(context.Background(), 20000); err != nil {
 			t.Fatal(err)
 		}
-		st, err := c.Run(20000)
+		st, err := c.Run(context.Background(), 20000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -307,7 +308,7 @@ func TestSlotAccountingConservation(t *testing.T) {
 	spec, _ := trace.ByName("spec06_gcc")
 	c := New(config.Baseline(), spec.New())
 	c.WarmCaches()
-	st, err := c.Run(20000)
+	st, err := c.Run(context.Background(), 20000)
 	if err != nil {
 		t.Fatal(err)
 	}

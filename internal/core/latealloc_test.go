@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"rfpsim/internal/config"
@@ -65,10 +66,10 @@ func TestLateRegAllocNoPressureIsNeutral(t *testing.T) {
 	mkRun := func(cfg config.Core) float64 {
 		c := New(cfg, spec.New())
 		c.WarmCaches()
-		if err := c.Warmup(10000); err != nil {
+		if err := c.Warmup(context.Background(), 10000); err != nil {
 			t.Fatal(err)
 		}
-		st, err := c.Run(20000)
+		st, err := c.Run(context.Background(), 20000)
 		if err != nil {
 			t.Fatal(err)
 		}

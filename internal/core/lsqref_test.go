@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"rfpsim/internal/config"
@@ -96,7 +97,7 @@ func TestLSQForwardingMatchesReferenceModel(t *testing.T) {
 		}
 		// Track dispatches so stores in flight are known (white-box: the
 		// dispatch path assigns Seq in program order).
-		if _, err := c.Run(60000); err != nil {
+		if _, err := c.Run(context.Background(), 60000); err != nil {
 			t.Fatalf("rfp=%v: %v", withRFP, err)
 		}
 		if checked == 0 {
@@ -111,12 +112,12 @@ func TestLSQForwardingMatchesReferenceModel(t *testing.T) {
 // grow linearly with instruction count.
 func TestOrderingViolationsEventuallyStopOnFuzz(t *testing.T) {
 	c := New(config.Baseline(), newRandMemGen(7))
-	st, err := c.Run(30000)
+	st, err := c.Run(context.Background(), 30000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	early := st.MemOrderViolations
-	st, err = c.Run(30000)
+	st, err = c.Run(context.Background(), 30000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestFuzzWorkloadSemanticsWithAllFeatures(t *testing.T) {
 			}
 			i++
 		})
-		if _, err := c.Run(20000); err != nil {
+		if _, err := c.Run(context.Background(), 20000); err != nil {
 			t.Fatalf("%s: %v", cfg.Name, err)
 		}
 	}
@@ -168,7 +169,7 @@ func TestRFPOnFuzzNeverWedges(t *testing.T) {
 		cfg := config.Baseline().WithRFP()
 		cfg.RFP.QueueSize = 4 // tiny queue: maximum churn
 		c := New(cfg, newRandMemGen(seed))
-		if _, err := c.Run(15000); err != nil {
+		if _, err := c.Run(context.Background(), 15000); err != nil {
 			t.Errorf("seed %d: %v", seed, err)
 		}
 	}
@@ -195,7 +196,7 @@ func TestSuiteWorkloadsUnderLSQInvariant(t *testing.T) {
 				}
 			}
 		}
-		if _, err := c.Run(30000); err != nil {
+		if _, err := c.Run(context.Background(), 30000); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestPipeTraceEmitsEvents(t *testing.T) {
 	c.WarmCaches()
 	var buf bytes.Buffer
 	c.AttachPipeTrace(&buf, 100, 300)
-	if _, err := c.Run(5000); err != nil {
+	if _, err := c.Run(context.Background(), 5000); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -40,14 +41,14 @@ func TestPipeTraceWindowBounds(t *testing.T) {
 	c := New(config.Baseline(), spec.New())
 	var buf bytes.Buffer
 	c.AttachPipeTrace(&buf, 1<<40, 1<<41) // far future: nothing emitted
-	if _, err := c.Run(3000); err != nil {
+	if _, err := c.Run(context.Background(), 3000); err != nil {
 		t.Fatal(err)
 	}
 	if buf.Len() != 0 {
 		t.Errorf("events emitted outside window:\n%s", firstLines(buf.String(), 3))
 	}
 	c.AttachPipeTrace(nil, 0, 0) // detach must not panic
-	if _, err := c.Run(1000); err != nil {
+	if _, err := c.Run(context.Background(), 1000); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -56,12 +57,12 @@ func TestPipeTraceShowsRFPEvents(t *testing.T) {
 	spec, _ := trace.ByName("spec06_hmmer")
 	c := New(config.Baseline().WithRFP(), spec.New())
 	c.WarmCaches()
-	if err := c.Warmup(10000); err != nil { // let the PT gain confidence
+	if err := c.Warmup(context.Background(), 10000); err != nil { // let the PT gain confidence
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
 	c.AttachPipeTrace(&buf, c.Cycle(), c.Cycle()+2000)
-	if _, err := c.Run(4000); err != nil {
+	if _, err := c.Run(context.Background(), 4000); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

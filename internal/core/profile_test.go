@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestProfileAccumulatesPerPC(t *testing.T) {
 	c := New(config.Baseline().WithRFP(), spec.New())
 	c.WarmCaches()
 	c.EnableProfile()
-	st, err := c.Run(30000)
+	st, err := c.Run(context.Background(), 30000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestProfileAccumulatesPerPC(t *testing.T) {
 func TestProfileDisabledByDefault(t *testing.T) {
 	spec, _ := trace.ByName("spec06_hmmer")
 	c := New(config.Baseline(), spec.New())
-	if _, err := c.Run(2000); err != nil {
+	if _, err := c.Run(context.Background(), 2000); err != nil {
 		t.Fatal(err)
 	}
 	if c.Profile() != nil {
@@ -72,10 +73,10 @@ func TestProfileCoverageMatchesChaseExpectation(t *testing.T) {
 	c := New(config.Baseline().WithRFP(), spec.New())
 	c.WarmCaches()
 	c.EnableProfile()
-	if err := c.Warmup(20000); err != nil {
+	if err := c.Warmup(context.Background(), 20000); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Run(30000); err != nil {
+	if _, err := c.Run(context.Background(), 30000); err != nil {
 		t.Fatal(err)
 	}
 	var best, worst float64 = 0, 1
@@ -102,10 +103,10 @@ func TestRunAheadDistribution(t *testing.T) {
 	c := New(config.Baseline().WithRFP(), spec.New())
 	c.WarmCaches()
 	c.EnableProfile()
-	if err := c.Warmup(10000); err != nil {
+	if err := c.Warmup(context.Background(), 10000); err != nil {
 		t.Fatal(err)
 	}
-	st, err := c.Run(20000)
+	st, err := c.Run(context.Background(), 20000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"rfpsim/internal/config"
@@ -117,10 +118,10 @@ func TestOracleMiddleLevels(t *testing.T) {
 			wrap:    256 << 10,
 		}
 		c := New(cfg, g)
-		if err := c.Warmup(10000); err != nil {
+		if err := c.Warmup(context.Background(), 10000); err != nil {
 			t.Fatal(err)
 		}
-		st, err := c.Run(8000)
+		st, err := c.Run(context.Background(), 8000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -212,7 +213,7 @@ func TestPRFConservation(t *testing.T) {
 		cfg.VP.ConfMax = 1 // provoke flushes in the VP config
 		cfg.VP.ConfProb = 1
 		c := New(cfg, newRandMemGen(13))
-		if _, err := c.Run(25000); err != nil {
+		if _, err := c.Run(context.Background(), 25000); err != nil {
 			t.Fatalf("%s: %v", cfg.Name, err)
 		}
 		// Drain: stop fetching and let the window empty.

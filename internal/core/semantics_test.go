@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"rfpsim/internal/config"
@@ -28,7 +29,7 @@ func committedStream(t *testing.T, cfg config.Core, spec trace.Spec, n uint64) [
 			pc: op.PC, class: op.Class, addr: op.Addr, dst: op.Dst, taken: op.Taken,
 		})
 	})
-	if _, err := c.Run(n); err != nil {
+	if _, err := c.Run(context.Background(), n); err != nil {
 		t.Fatalf("%s on %s: %v", spec.Name, cfg.Name, err)
 	}
 	return out
@@ -120,7 +121,7 @@ func TestVPFlushesActuallyHappenUnderHairTrigger(t *testing.T) {
 	cfg.VP.ConfMax = 1
 	cfg.VP.ConfProb = 1
 	c := New(cfg, &valueFlipGen{inner})
-	st, err := c.Run(20000)
+	st, err := c.Run(context.Background(), 20000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestRFPQueueOverflowIsGraceful(t *testing.T) {
 	cfg.RFP.QueueSize = 2
 	c := New(cfg, spec.New())
 	c.WarmCaches()
-	st, err := c.Run(20000)
+	st, err := c.Run(context.Background(), 20000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -72,7 +74,7 @@ func TestOptionsDefaults(t *testing.T) {
 }
 
 func TestRunConfigProducesStats(t *testing.T) {
-	runs := runConfig(config.Baseline(), tiny())
+	runs := runConfig(context.Background(), config.Baseline(), tiny())
 	if len(runs) != 6 {
 		t.Fatalf("got %d runs", len(runs))
 	}
@@ -87,7 +89,7 @@ func TestRunConfigProducesStats(t *testing.T) {
 }
 
 func TestPairRunsRejectsMismatch(t *testing.T) {
-	a := runConfig(config.Baseline(), tiny())
+	a := runConfig(context.Background(), config.Baseline(), tiny())
 	if _, err := pairRuns(a, a[:2]); err == nil {
 		t.Error("mismatched lengths not rejected")
 	}
@@ -103,7 +105,7 @@ func TestPairRunsRejectsMismatch(t *testing.T) {
 func TestTableExperimentsNeedNoSimulation(t *testing.T) {
 	for _, id := range []string{"table1", "table2", "table3"} {
 		e, _ := ByID(id)
-		res, err := e.Run(Options{})
+		res, err := e.Run(context.Background(), Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -115,7 +117,7 @@ func TestTableExperimentsNeedNoSimulation(t *testing.T) {
 
 func TestTable1MatchesPaperStorage(t *testing.T) {
 	e, _ := ByID("table1")
-	res, err := e.Run(Options{})
+	res, err := e.Run(context.Background(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +135,7 @@ func TestTable1MatchesPaperStorage(t *testing.T) {
 
 func TestTable3Lists65(t *testing.T) {
 	e, _ := ByID("table3")
-	res, err := e.Run(Options{})
+	res, err := e.Run(context.Background(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +149,7 @@ func TestTable3Lists65(t *testing.T) {
 
 func TestFig2Shape(t *testing.T) {
 	e, _ := ByID("fig2")
-	res, err := e.Run(tiny())
+	res, err := e.Run(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +168,7 @@ func TestFig2Shape(t *testing.T) {
 
 func TestFig10Shape(t *testing.T) {
 	e, _ := ByID("fig10")
-	res, err := e.Run(tiny())
+	res, err := e.Run(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +185,7 @@ func TestFig10Shape(t *testing.T) {
 
 func TestFig13FunnelMonotone(t *testing.T) {
 	e, _ := ByID("fig13")
-	res, err := e.Run(tiny())
+	res, err := e.Run(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +197,7 @@ func TestFig13FunnelMonotone(t *testing.T) {
 
 func TestFig16WaterfallMonotone(t *testing.T) {
 	e, _ := ByID("fig16")
-	res, err := e.Run(tiny())
+	res, err := e.Run(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +216,7 @@ func TestFig16WaterfallMonotone(t *testing.T) {
 
 func TestFig17ConfidenceTradeoff(t *testing.T) {
 	e, _ := ByID("fig17")
-	res, err := e.Run(tiny())
+	res, err := e.Run(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +234,7 @@ func TestFig17ConfidenceTradeoff(t *testing.T) {
 
 func TestEffectivenessSplit(t *testing.T) {
 	e, _ := ByID("effectiveness")
-	res, err := e.Run(tiny())
+	res, err := e.Run(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +248,7 @@ func TestEffectivenessSplit(t *testing.T) {
 
 func TestPATStorageSaving(t *testing.T) {
 	e, _ := ByID("pat")
-	res, err := e.Run(tiny())
+	res, err := e.Run(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +297,7 @@ func TestPaperShapeQuick(t *testing.T) {
 	}
 	opts := Quick()
 
-	fig10, err := ByIDMust("fig10").Run(opts)
+	fig10, err := ByIDMust("fig10").Run(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +308,7 @@ func TestPaperShapeQuick(t *testing.T) {
 		t.Errorf("RFP coverage = %v (paper 43.4%%)", cov)
 	}
 
-	fig1, err := ByIDMust("fig1").Run(opts)
+	fig1, err := ByIDMust("fig1").Run(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +333,7 @@ func ByIDMust(id string) Experiment {
 }
 
 func TestPowerExperimentShape(t *testing.T) {
-	res, err := ByIDMust("power").Run(tiny())
+	res, err := ByIDMust("power").Run(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +352,7 @@ func TestPowerExperimentShape(t *testing.T) {
 }
 
 func TestBandwidthExperimentShape(t *testing.T) {
-	res, err := ByIDMust("bandwidth").Run(tiny())
+	res, err := ByIDMust("bandwidth").Run(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +370,7 @@ func TestBandwidthExperimentShape(t *testing.T) {
 }
 
 func TestCriticalExperimentShape(t *testing.T) {
-	res, err := ByIDMust("critical").Run(tiny())
+	res, err := ByIDMust("critical").Run(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,7 +383,7 @@ func TestCriticalExperimentShape(t *testing.T) {
 }
 
 func TestHWPrefetchExperimentShape(t *testing.T) {
-	res, err := ByIDMust("hwprefetch").Run(tiny())
+	res, err := ByIDMust("hwprefetch").Run(context.Background(), tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,8 +400,8 @@ func TestHWPrefetchExperimentShape(t *testing.T) {
 func TestRunConfigDeterministicUnderParallelism(t *testing.T) {
 	opts := tiny()
 	opts.Parallel = 6
-	a := runConfig(config.Baseline().WithRFP(), opts)
-	b := runConfig(config.Baseline().WithRFP(), opts)
+	a := runConfig(context.Background(), config.Baseline().WithRFP(), opts)
+	b := runConfig(context.Background(), config.Baseline().WithRFP(), opts)
 	for i := range a {
 		if a[i].Err != nil || b[i].Err != nil {
 			t.Fatalf("run error: %v %v", a[i].Err, b[i].Err)
@@ -429,7 +431,7 @@ func TestEveryExperimentRunsAtMicroScale(t *testing.T) {
 	micro.WarmupUops = 3000
 	micro.MeasureUops = 6000
 	for _, e := range All() {
-		res, err := e.Run(micro)
+		res, err := e.Run(context.Background(), micro)
 		if err != nil {
 			t.Errorf("%s: %v", e.ID, err)
 			continue
@@ -455,8 +457,8 @@ func TestSeedReplication(t *testing.T) {
 	opts := tiny()
 	opts.Workloads = opts.Workloads[:2]
 	opts.Seeds = 3
-	a := runConfig(config.Baseline(), opts)
-	b := runConfig(config.Baseline(), opts)
+	a := runConfig(context.Background(), config.Baseline(), opts)
+	b := runConfig(context.Background(), config.Baseline(), opts)
 	for i := range a {
 		if a[i].Err != nil {
 			t.Fatal(a[i].Err)
@@ -472,7 +474,7 @@ func TestSeedReplication(t *testing.T) {
 	}
 	// Replicas are genuinely different dynamic instances.
 	opts.Seeds = 1
-	single := runConfig(config.Baseline(), opts)
+	single := runConfig(context.Background(), config.Baseline(), opts)
 	if a[0].Stats.Cycles == 3*single[0].Stats.Cycles {
 		t.Log("replica cycles happen to be an exact multiple; acceptable but unusual")
 	}
@@ -483,5 +485,25 @@ func TestResultMetricKeysSorted(t *testing.T) {
 	keys := r.MetricKeys()
 	if len(keys) != 2 || keys[0] != "a" {
 		t.Errorf("keys = %v", keys)
+	}
+}
+
+// TestRunConfigCancellation: a cancelled context makes every workload in
+// the sweep report the cancellation with nil stats — no partial seed totals
+// leak into downstream averaging.
+func TestRunConfigCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	runs := runConfig(ctx, config.Baseline(), tiny())
+	if len(runs) == 0 {
+		t.Fatal("no runs returned")
+	}
+	for _, r := range runs {
+		if r.Err == nil || !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("%s: err = %v, want wrapped context.Canceled", r.Spec.Name, r.Err)
+		}
+		if r.Stats != nil {
+			t.Errorf("%s: cancelled run carries stats %+v, want nil", r.Spec.Name, r.Stats)
+		}
 	}
 }

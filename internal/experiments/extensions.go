@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"rfpsim/internal/config"
@@ -14,7 +15,7 @@ import (
 // validation re-reads); wrong prefetches add one L1 access each; value and
 // address predictors pay for probe traffic and — dominating — pipeline
 // flushes.
-func runPower(opts Options) (*Result, error) {
+func runPower(ctx context.Context, opts Options) (*Result, error) {
 	cost := energy.DefaultCost()
 	schemes := []struct {
 		key string
@@ -30,7 +31,7 @@ func runPower(opts Options) (*Result, error) {
 	metrics := map[string]float64{}
 	var baseEPU float64
 	for i, s := range schemes {
-		runs := runConfig(s.cfg, opts)
+		runs := runConfig(ctx, s.cfg, opts)
 		epu := meanOver(runs, func(st *stats.Sim) float64 { return energy.PerUop(st, cost) })
 		flush := meanOver(runs, func(st *stats.Sim) float64 {
 			if st.Instructions == 0 {
@@ -69,7 +70,7 @@ func runPower(opts Options) (*Result, error) {
 // replaces the demand load's access one-for-one, so total L1 accesses stay
 // nearly flat; wrong prefetches add their re-read; DLVP-style probes are
 // pure extra traffic.
-func runBandwidth(opts Options) (*Result, error) {
+func runBandwidth(ctx context.Context, opts Options) (*Result, error) {
 	schemes := []struct {
 		key string
 		cfg config.Core
@@ -82,7 +83,7 @@ func runBandwidth(opts Options) (*Result, error) {
 	metrics := map[string]float64{}
 	var base float64
 	for i, s := range schemes {
-		runs := runConfig(s.cfg, opts)
+		runs := runConfig(ctx, s.cfg, opts)
 		apu := meanOver(runs, func(st *stats.Sim) float64 {
 			if st.Instructions == 0 {
 				return 0
@@ -111,17 +112,17 @@ func runBandwidth(opts Options) (*Result, error) {
 // still pay off when the baseline already has a hardware stream cache
 // prefetcher? It should — cache prefetchers convert misses into L1 hits,
 // which *grows* the population RFP can accelerate (L1 latency remains).
-func runHWPrefetch(opts Options) (*Result, error) {
+func runHWPrefetch(ctx context.Context, opts Options) (*Result, error) {
 	plain := config.Baseline()
 	hw := config.Baseline()
 	hw.Name = "baseline+hwpf"
 	hw.Mem.HWPrefetch = true
 	hwRFP := hw.WithRFP()
 
-	base := runConfig(plain, opts)
-	hwRuns := runConfig(hw, opts)
-	hwRFPRuns := runConfig(hwRFP, opts)
-	rfpRuns := runConfig(config.Baseline().WithRFP(), opts)
+	base := runConfig(ctx, plain, opts)
+	hwRuns := runConfig(ctx, hw, opts)
+	hwRFPRuns := runConfig(ctx, hwRFP, opts)
+	rfpRuns := runConfig(ctx, config.Baseline().WithRFP(), opts)
 
 	hwPairs, err := pairRuns(base, hwRuns)
 	if err != nil {
@@ -156,7 +157,7 @@ func runHWPrefetch(opts Options) (*Result, error) {
 // runCycleAccounting is the top-down view of where RFP's gain comes from:
 // commit slots blocked behind unfinished loads (the L1-latency wall) shrink
 // and convert into retired slots, while exec/frontend stalls stay put.
-func runCycleAccounting(opts Options) (*Result, error) {
+func runCycleAccounting(ctx context.Context, opts Options) (*Result, error) {
 	tb := stats.NewTable("Config", "Retired", "Load-stall", "Exec-stall", "Frontend")
 	metrics := map[string]float64{}
 	for _, withRFP := range []bool{false, true} {
@@ -166,7 +167,7 @@ func runCycleAccounting(opts Options) (*Result, error) {
 			cfg = cfg.WithRFP()
 			key = "rfp"
 		}
-		runs := runConfig(cfg, opts)
+		runs := runConfig(ctx, cfg, opts)
 		var retired, load, exec, empty float64
 		nOK := 0
 		for _, r := range runs {
@@ -199,7 +200,7 @@ func runCycleAccounting(opts Options) (*Result, error) {
 // physical registers claimed at writeback through virtual pointers. RFP
 // must keep (approximately) its gain under the variation — the paper's
 // point that RFP adapts to either register file design.
-func runLateAlloc(opts Options) (*Result, error) {
+func runLateAlloc(ctx context.Context, opts Options) (*Result, error) {
 	tb := stats.NewTable("Register file", "RFP speedup")
 	metrics := map[string]float64{}
 	for _, late := range []bool{false, true} {
@@ -211,8 +212,8 @@ func runLateAlloc(opts Options) (*Result, error) {
 			base.Name = "baseline-late"
 		}
 		feat := base.WithRFP()
-		baseRuns := runConfig(base, opts)
-		featRuns := runConfig(feat, opts)
+		baseRuns := runConfig(ctx, base, opts)
+		featRuns := runConfig(ctx, feat, opts)
 		pairs, err := pairRuns(baseRuns, featRuns)
 		if err != nil {
 			return nil, err
@@ -239,7 +240,7 @@ func runLateAlloc(opts Options) (*Result, error) {
 // demonstrates that RFP's gain is robust to the branch predictor choice;
 // on pattern-heavy workloads (see the TAGE unit tests) the predictors
 // separate and RFP's share of the critical path shifts accordingly.
-func runBPQuality(opts Options) (*Result, error) {
+func runBPQuality(ctx context.Context, opts Options) (*Result, error) {
 	tb := stats.NewTable("Branch predictor", "RFP speedup", "Baseline mispredicts/kuop")
 	metrics := map[string]float64{}
 	for _, bp := range []string{"tage", "gshare"} {
@@ -247,8 +248,8 @@ func runBPQuality(opts Options) (*Result, error) {
 		base.BranchPredictor = bp
 		base.Name = "baseline-" + bp
 		feat := base.WithRFP()
-		baseRuns := runConfig(base, opts)
-		featRuns := runConfig(feat, opts)
+		baseRuns := runConfig(ctx, base, opts)
+		featRuns := runConfig(ctx, feat, opts)
 		pairs, err := pairRuns(baseRuns, featRuns)
 		if err != nil {
 			return nil, err
@@ -277,13 +278,13 @@ func runBPQuality(opts Options) (*Result, error) {
 // only for loads the commit-stall estimator flags as critical. Expected
 // shape: a fraction of the prefetch traffic retains most of the speedup,
 // because "not all prefetches have a high impact on performance".
-func runCritical(opts Options) (*Result, error) {
-	base := runConfig(config.Baseline(), opts)
-	full := runConfig(config.Baseline().WithRFP(), opts)
+func runCritical(ctx context.Context, opts Options) (*Result, error) {
+	base := runConfig(ctx, config.Baseline(), opts)
+	full := runConfig(ctx, config.Baseline().WithRFP(), opts)
 	critCfg := config.Baseline().WithRFP()
 	critCfg.RFP.CriticalOnly = true
 	critCfg.Name = "baseline+rfp-critical"
-	crit := runConfig(critCfg, opts)
+	crit := runConfig(ctx, critCfg, opts)
 
 	fullPairs, err := pairRuns(base, full)
 	if err != nil {

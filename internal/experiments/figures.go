@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -14,8 +15,8 @@ import (
 // prefetcher between each pair of adjacent hierarchy levels. The paper's
 // shape: L1→RF (~9%) and Mem→LLC (~13%) dominate the middle levels despite
 // L1 latency being 40x lower than DRAM's.
-func runFig1(opts Options) (*Result, error) {
-	base := runConfig(config.Baseline(), opts)
+func runFig1(ctx context.Context, opts Options) (*Result, error) {
+	base := runConfig(ctx, config.Baseline(), opts)
 	oracles := []struct {
 		name string
 		mode config.OracleMode
@@ -28,7 +29,7 @@ func runFig1(opts Options) (*Result, error) {
 	tb := stats.NewTable("Oracle", "Geomean speedup")
 	metrics := map[string]float64{}
 	for _, o := range oracles {
-		runs := runConfig(config.Baseline().WithOracle(o.mode), opts)
+		runs := runConfig(ctx, config.Baseline().WithOracle(o.mode), opts)
 		pairs, err := pairRuns(base, runs)
 		if err != nil {
 			return nil, err
@@ -47,8 +48,8 @@ func runFig1(opts Options) (*Result, error) {
 
 // runFig2 reproduces Figure 2: where demand loads are served. Paper: 92.8%
 // L1, with small MSHR/L2/LLC/DRAM slices.
-func runFig2(opts Options) (*Result, error) {
-	runs := runConfig(config.Baseline(), opts)
+func runFig2(ctx context.Context, opts Options) (*Result, error) {
+	runs := runConfig(ctx, config.Baseline(), opts)
 	tb := stats.NewTable("Level", "Fraction of loads")
 	metrics := map[string]float64{}
 	for l := 0; l < stats.NumLevels; l++ {
@@ -67,9 +68,9 @@ func runFig2(opts Options) (*Result, error) {
 // runFig10 reproduces Figure 10: RFP speedup and coverage per workload
 // category on the baseline core. Paper: 3.1% geomean speedup, 43.4%
 // coverage.
-func runFig10(opts Options) (*Result, error) {
-	base := runConfig(config.Baseline(), opts)
-	feat := runConfig(config.Baseline().WithRFP(), opts)
+func runFig10(ctx context.Context, opts Options) (*Result, error) {
+	base := runConfig(ctx, config.Baseline(), opts)
+	feat := runConfig(ctx, config.Baseline().WithRFP(), opts)
 	pairs, err := pairRuns(base, feat)
 	if err != nil {
 		return nil, err
@@ -101,9 +102,9 @@ func runFig10(opts Options) (*Result, error) {
 
 // runFig11 reproduces Figure 11: per-workload IPC gain and coverage,
 // sorted by gain — the paper's correlation line chart as rows.
-func runFig11(opts Options) (*Result, error) {
-	base := runConfig(config.Baseline(), opts)
-	feat := runConfig(config.Baseline().WithRFP(), opts)
+func runFig11(ctx context.Context, opts Options) (*Result, error) {
+	base := runConfig(ctx, config.Baseline(), opts)
+	feat := runConfig(ctx, config.Baseline().WithRFP(), opts)
 	pairs, err := pairRuns(base, feat)
 	if err != nil {
 		return nil, err
@@ -171,9 +172,9 @@ func ranks(xs []float64) []float64 {
 // +5.7% and 53.7% coverage — more than on the baseline, because doubled
 // execution resources expose more latency sensitivity and more L1
 // bandwidth lets more prefetches dispatch.
-func runFig12(opts Options) (*Result, error) {
-	base := runConfig(config.Baseline2x(), opts)
-	feat := runConfig(config.Baseline2x().WithRFP(), opts)
+func runFig12(ctx context.Context, opts Options) (*Result, error) {
+	base := runConfig(ctx, config.Baseline2x(), opts)
+	feat := runConfig(ctx, config.Baseline2x().WithRFP(), opts)
 	pairs, err := pairRuns(base, feat)
 	if err != nil {
 		return nil, err
@@ -196,8 +197,8 @@ func runFig12(opts Options) (*Result, error) {
 // runFig13 reproduces Figure 13: the prefetch life-cycle funnel. Paper:
 // packets injected for 72% of loads, executed for 48%, useful for 43%;
 // ~5% wrong.
-func runFig13(opts Options) (*Result, error) {
-	runs := runConfig(config.Baseline().WithRFP(), opts)
+func runFig13(ctx context.Context, opts Options) (*Result, error) {
+	runs := runConfig(ctx, config.Baseline().WithRFP(), opts)
 	type row struct {
 		name                              string
 		injected, executed, useful, wrong float64
@@ -243,13 +244,13 @@ func runFig13(opts Options) (*Result, error) {
 
 // runFig14 reproduces Figure 14: doubling L1 ports with half dedicated to
 // RFP. Paper: +4.0% vs +3.1% shared, with 16.1% more prefetches executed.
-func runFig14(opts Options) (*Result, error) {
-	base := runConfig(config.Baseline(), opts)
-	shared := runConfig(config.Baseline().WithRFP(), opts)
+func runFig14(ctx context.Context, opts Options) (*Result, error) {
+	base := runConfig(ctx, config.Baseline(), opts)
+	shared := runConfig(ctx, config.Baseline().WithRFP(), opts)
 	dedCfg := config.Baseline().WithRFP()
 	dedCfg.Name = "baseline+rfp-dedicated"
 	dedCfg.RFPDedicatedPorts = dedCfg.LoadPorts
-	ded := runConfig(dedCfg, opts)
+	ded := runConfig(ctx, dedCfg, opts)
 
 	sharedPairs, err := pairRuns(base, shared)
 	if err != nil {
@@ -280,8 +281,8 @@ func runFig14(opts Options) (*Result, error) {
 // completed before the load even dispatched (fully hidden latency; the
 // load behaves like a 1-cycle op) vs completed late (partial saving).
 // Paper: 34.2% of loads fully hidden, 9.2% partially.
-func runEffectiveness(opts Options) (*Result, error) {
-	runs := runConfig(config.Baseline().WithRFP(), opts)
+func runEffectiveness(ctx context.Context, opts Options) (*Result, error) {
+	runs := runConfig(ctx, config.Baseline().WithRFP(), opts)
 	full := meanOver(runs, func(s *stats.Sim) float64 {
 		if s.Loads == 0 {
 			return 0
@@ -302,7 +303,7 @@ func runEffectiveness(opts Options) (*Result, error) {
 }
 
 // runTable2 prints the core parameters (Table 2 analogue).
-func runTable2(Options) (*Result, error) {
+func runTable2(context.Context, Options) (*Result, error) {
 	b, x := config.Baseline(), config.Baseline2x()
 	tb := stats.NewTable("Parameter", "Baseline", "Baseline-2x")
 	rows := []struct {
@@ -328,7 +329,7 @@ func runTable2(Options) (*Result, error) {
 }
 
 // runTable3 prints the workload suite (Table 3 analogue).
-func runTable3(Options) (*Result, error) {
+func runTable3(context.Context, Options) (*Result, error) {
 	tb := stats.NewTable("Category", "Workloads")
 	total := 0
 	for _, c := range trace.Categories() {

@@ -7,13 +7,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 
 	"rfpsim/internal/config"
-	"rfpsim/internal/core"
+	"rfpsim/internal/runner"
 	"rfpsim/internal/stats"
 	"rfpsim/internal/trace"
 )
@@ -89,19 +90,22 @@ func (o Options) seeds() int {
 type Run struct {
 	// Spec names the workload.
 	Spec trace.Spec
-	// Stats is the measured-window statistics block.
+	// Stats is the measured-window statistics block; nil when Err is set
+	// (an errored or cancelled workload contributes nothing, never a
+	// partial seed total).
 	Stats *stats.Sim
-	// Err reports a wedged pipeline (a model bug; tests fail on it).
+	// Err reports a wedged pipeline (a model bug; tests fail on it) or a
+	// cancelled run.
 	Err error
 }
 
 // runConfig simulates every workload on cfg, in parallel, in catalog
-// order. With Seeds > 1, each workload runs as several seed replicas whose
-// counters are summed — ratios computed from the sums are then
-// replica-weighted averages.
-func runConfig(cfg config.Core, opts Options) []Run {
+// order, cancelling promptly when ctx does. With Seeds > 1, each workload
+// runs as several seed replicas whose counters are summed — ratios
+// computed from the sums are then replica-weighted averages (see
+// runner.Run).
+func runConfig(ctx context.Context, cfg config.Core, opts Options) []Run {
 	specs := opts.workloads()
-	nSeeds := opts.seeds()
 	runs := make([]Run, len(specs))
 	sem := make(chan struct{}, opts.parallel())
 	var wg sync.WaitGroup
@@ -111,72 +115,18 @@ func runConfig(cfg config.Core, opts Options) []Run {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			total := &stats.Sim{}
-			var firstErr error
-			for s := 0; s < nSeeds; s++ {
-				replica := spec
-				replica.Seed = spec.Seed + uint64(s)*0x9E3779B97F4A7C15
-				c := core.New(cfg, replica.New())
-				c.WarmCaches()
-				err := c.Warmup(opts.WarmupUops)
-				var st *stats.Sim
-				if err == nil {
-					st, err = c.Run(opts.MeasureUops)
-				}
-				if err != nil {
-					firstErr = err
-					break
-				}
-				accumulate(total, st)
-			}
-			runs[i] = Run{Spec: spec, Stats: total, Err: firstErr}
+			st, err := runner.Run(ctx, runner.Job{
+				Config:      cfg,
+				Spec:        spec,
+				WarmupUops:  opts.WarmupUops,
+				MeasureUops: opts.MeasureUops,
+				Seeds:       opts.seeds(),
+			})
+			runs[i] = Run{Spec: spec, Stats: st, Err: err}
 		}(i, spec)
 	}
 	wg.Wait()
 	return runs
-}
-
-// accumulate folds one replica's counters into the aggregate.
-func accumulate(dst, src *stats.Sim) {
-	dst.Cycles += src.Cycles
-	dst.Instructions += src.Instructions
-	dst.Loads += src.Loads
-	dst.Stores += src.Stores
-	dst.Branches += src.Branches
-	dst.BranchMispredicts += src.BranchMispredicts
-	for l := range dst.LoadHitLevel {
-		dst.LoadHitLevel[l] += src.LoadHitLevel[l]
-	}
-	dst.StoreForwarded += src.StoreForwarded
-	dst.MemOrderViolations += src.MemOrderViolations
-	dst.HitMissMispredicts += src.HitMissMispredicts
-	dst.Replays += src.Replays
-	dst.RFP.Injected += src.RFP.Injected
-	dst.RFP.Dropped += src.RFP.Dropped
-	dst.RFP.DroppedTLBMiss += src.RFP.DroppedTLBMiss
-	dst.RFP.Executed += src.RFP.Executed
-	dst.RFP.Useful += src.RFP.Useful
-	dst.RFP.FullyHidden += src.RFP.FullyHidden
-	dst.RFP.Wrong += src.RFP.Wrong
-	dst.RFP.L1Misses += src.RFP.L1Misses
-	dst.RFP.PortConflicts += src.RFP.PortConflicts
-	dst.VP.Predicted += src.VP.Predicted
-	dst.VP.Correct += src.VP.Correct
-	dst.VP.Mispredicted += src.VP.Mispredicted
-	dst.AP.AddressPredictable += src.AP.AddressPredictable
-	dst.AP.HighConfidence += src.AP.HighConfidence
-	dst.AP.NoFwdPass += src.AP.NoFwdPass
-	dst.AP.ProbeLaunched += src.AP.ProbeLaunched
-	dst.AP.ProbeInTime += src.AP.ProbeInTime
-	dst.DTLBMisses += src.DTLBMisses
-	dst.L1Accesses += src.L1Accesses
-	dst.LoadsAddrReadyAtAlloc += src.LoadsAddrReadyAtAlloc
-	dst.Slots.Retired += src.Slots.Retired
-	dst.Slots.StallLoad += src.Slots.StallLoad
-	dst.Slots.StallExec += src.Slots.StallExec
-	dst.Slots.StallEmpty += src.Slots.StallEmpty
-	dst.VPFlushes += src.VPFlushes
-	dst.EPPReexecutions += src.EPPReexecutions
 }
 
 // pair matches baseline and feature runs of the same workload.
@@ -261,8 +211,9 @@ type Experiment struct {
 	ID string
 	// Title describes the artifact.
 	Title string
-	// Run executes the experiment.
-	Run func(Options) (*Result, error)
+	// Run executes the experiment; cancelling the context aborts the
+	// underlying simulations promptly.
+	Run func(context.Context, Options) (*Result, error)
 }
 
 // All returns every experiment in paper order.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"rfpsim/internal/config"
 	"rfpsim/internal/stats"
 )
@@ -9,8 +10,8 @@ import (
 // prior art, and the VP+RFP fusion. Paper: EVES-style VP alone 2.2%, RFP
 // alone 3.1%, VP+RFP 4.15% (54.6% combined coverage); Composite similar to
 // VP; EPP slightly below Composite due to SSBF re-executions.
-func runFig15(opts Options) (*Result, error) {
-	base := runConfig(config.Baseline(), opts)
+func runFig15(ctx context.Context, opts Options) (*Result, error) {
+	base := runConfig(ctx, config.Baseline(), opts)
 	metrics := map[string]float64{}
 	tb := stats.NewTable("Scheme", "Speedup", "Coverage (loads helped)")
 
@@ -31,7 +32,7 @@ func runFig15(opts Options) (*Result, error) {
 		{"vp+rfp", config.Baseline().WithVP(config.VPEVES).WithRFP(), bothCov},
 	}
 	for _, s := range schemes {
-		runs := runConfig(s.cfg, opts)
+		runs := runConfig(ctx, s.cfg, opts)
 		pairs, err := pairRuns(base, runs)
 		if err != nil {
 			return nil, err
@@ -53,8 +54,8 @@ func runFig15(opts Options) (*Result, error) {
 // runFig16 reproduces Figure 16: the DLVP constraint waterfall. Paper:
 // address-predictable like RFP; high-confidence filter → 49%; no-forward
 // filter → 45%; L1 port availability → 22%; probe-in-time → 11%.
-func runFig16(opts Options) (*Result, error) {
-	runs := runConfig(config.Baseline().WithVP(config.VPDLVP), opts)
+func runFig16(ctx context.Context, opts Options) (*Result, error) {
+	runs := runConfig(ctx, config.Baseline().WithVP(config.VPDLVP), opts)
 	frac := func(f func(*stats.Sim) uint64) float64 {
 		return meanOver(runs, func(s *stats.Sim) float64 {
 			if s.Loads == 0 {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"rfpsim/internal/config"
@@ -12,15 +13,15 @@ import (
 // counters raise accuracy but shed coverage; since RFP mispredictions are
 // cheap (no flush), 1-bit wins on speedup — the paper's headline argument
 // for low-confidence prefetching.
-func runFig17(opts Options) (*Result, error) {
-	base := runConfig(config.Baseline(), opts)
+func runFig17(ctx context.Context, opts Options) (*Result, error) {
+	base := runConfig(ctx, config.Baseline(), opts)
 	tb := stats.NewTable("Confidence bits", "Speedup", "Coverage", "Wrong")
 	metrics := map[string]float64{}
 	for bits := 1; bits <= 4; bits++ {
 		cfg := config.Baseline().WithRFP()
 		cfg.RFP.ConfidenceBits = bits
 		cfg.Name = fmt.Sprintf("rfp-conf%d", bits)
-		runs := runConfig(cfg, opts)
+		runs := runConfig(ctx, cfg, opts)
 		pairs, err := pairRuns(base, runs)
 		if err != nil {
 			return nil, err
@@ -43,15 +44,15 @@ func runFig17(opts Options) (*Result, error) {
 
 // runFig18 reproduces Figure 18: Prefetch Table entries 1K..16K. Paper:
 // small monotone improvement that flattens out.
-func runFig18(opts Options) (*Result, error) {
-	base := runConfig(config.Baseline(), opts)
+func runFig18(ctx context.Context, opts Options) (*Result, error) {
+	base := runConfig(ctx, config.Baseline(), opts)
 	tb := stats.NewTable("PT entries", "Speedup", "Coverage")
 	metrics := map[string]float64{}
 	for _, entries := range []int{1024, 2048, 4096, 8192, 16384} {
 		cfg := config.Baseline().WithRFP()
 		cfg.RFP.PTEntries = entries
 		cfg.Name = fmt.Sprintf("rfp-pt%d", entries)
-		runs := runConfig(cfg, opts)
+		runs := runConfig(ctx, cfg, opts)
 		pairs, err := pairRuns(base, runs)
 		if err != nil {
 			return nil, err
@@ -72,7 +73,7 @@ func runFig18(opts Options) (*Result, error) {
 
 // runL1Latency reproduces §5.5.2: raising L1 latency from 5 to 6 cycles
 // increases RFP's gain (there is more latency to hide).
-func runL1Latency(opts Options) (*Result, error) {
+func runL1Latency(ctx context.Context, opts Options) (*Result, error) {
 	tb := stats.NewTable("L1 latency", "RFP speedup")
 	metrics := map[string]float64{}
 	for _, lat := range []int{5, 6} {
@@ -80,8 +81,8 @@ func runL1Latency(opts Options) (*Result, error) {
 		b.Mem.L1Latency = lat
 		b.Name = fmt.Sprintf("baseline-l1@%d", lat)
 		f := b.WithRFP()
-		base := runConfig(b, opts)
-		feat := runConfig(f, opts)
+		base := runConfig(ctx, b, opts)
+		feat := runConfig(ctx, f, opts)
 		pairs, err := pairRuns(base, feat)
 		if err != nil {
 			return nil, err
@@ -100,25 +101,25 @@ func runL1Latency(opts Options) (*Result, error) {
 
 // runContext reproduces §5.5.3: adding the path-based context prefetcher
 // on top of the stride table. Paper: only +0.3%, so stride-only is enough.
-func runContext(opts Options) (*Result, error) {
-	base := runConfig(config.Baseline(), opts)
-	stride := runConfig(config.Baseline().WithRFP(), opts)
+func runContext(ctx context.Context, opts Options) (*Result, error) {
+	base := runConfig(ctx, config.Baseline(), opts)
+	stride := runConfig(ctx, config.Baseline().WithRFP(), opts)
 	ctxCfg := config.Baseline().WithRFP()
 	ctxCfg.RFP.UseContext = true
 	ctxCfg.Name = "baseline+rfp+ctx"
-	ctx := runConfig(ctxCfg, opts)
+	ctxRuns := runConfig(ctx, ctxCfg, opts)
 	stridePairs, err := pairRuns(base, stride)
 	if err != nil {
 		return nil, err
 	}
-	ctxPairs, err := pairRuns(base, ctx)
+	ctxPairs, err := pairRuns(base, ctxRuns)
 	if err != nil {
 		return nil, err
 	}
 	spStride, spCtx := geomeanSpeedup(stridePairs), geomeanSpeedup(ctxPairs)
 	tb := stats.NewTable("Prefetcher", "Speedup", "Coverage")
 	tb.AddRow("stride only", stats.Pct(spStride), stats.Pct(meanOver(stride, (*stats.Sim).RFPCoverage)))
-	tb.AddRow("stride + context", stats.Pct(spCtx), stats.Pct(meanOver(ctx, (*stats.Sim).RFPCoverage)))
+	tb.AddRow("stride + context", stats.Pct(spCtx), stats.Pct(meanOver(ctxRuns, (*stats.Sim).RFPCoverage)))
 	return &Result{
 		ID:      "context",
 		Title:   "Context prefetcher (paper: +0.3% over stride — not worth the storage)",
@@ -130,13 +131,13 @@ func runContext(opts Options) (*Result, error) {
 // runPAT reproduces §5.5.4: PT entries hold a 6-bit PAT pointer + 12-bit
 // page offset instead of a 64-bit VA. Paper: ~50% storage saved for a
 // negligible 0.09% performance drop.
-func runPAT(opts Options) (*Result, error) {
-	base := runConfig(config.Baseline(), opts)
-	full := runConfig(config.Baseline().WithRFP(), opts)
+func runPAT(ctx context.Context, opts Options) (*Result, error) {
+	base := runConfig(ctx, config.Baseline(), opts)
+	full := runConfig(ctx, config.Baseline().WithRFP(), opts)
 	patCfg := config.Baseline().WithRFP()
 	patCfg.RFP.UsePAT = true
 	patCfg.Name = "baseline+rfp+pat"
-	pat := runConfig(patCfg, opts)
+	pat := runConfig(ctx, patCfg, opts)
 	fullPairs, err := pairRuns(base, full)
 	if err != nil {
 		return nil, err
@@ -164,8 +165,8 @@ func runPAT(opts Options) (*Result, error) {
 
 // runSimplifications reproduces §5.5.5: dropping prefetches on DTLB misses
 // costs ~nothing; letting prefetches fetch L1 misses is worth ~0.02%.
-func runSimplifications(opts Options) (*Result, error) {
-	base := runConfig(config.Baseline(), opts)
+func runSimplifications(ctx context.Context, opts Options) (*Result, error) {
+	base := runConfig(ctx, config.Baseline(), opts)
 	variants := []struct {
 		key string
 		mut func(*config.RFPConfig)
@@ -180,7 +181,7 @@ func runSimplifications(opts Options) (*Result, error) {
 		cfg := config.Baseline().WithRFP()
 		v.mut(&cfg.RFP)
 		cfg.Name = fmt.Sprintf("rfp-simpl%d", i)
-		runs := runConfig(cfg, opts)
+		runs := runConfig(ctx, cfg, opts)
 		pairs, err := pairRuns(base, runs)
 		if err != nil {
 			return nil, err
@@ -198,7 +199,7 @@ func runSimplifications(opts Options) (*Result, error) {
 }
 
 // runTable1 reproduces Table 1: the RFP storage bill of materials.
-func runTable1(Options) (*Result, error) {
+func runTable1(context.Context, Options) (*Result, error) {
 	tb := stats.NewTable("Structure", "Fields", "Storage")
 	cfgPAT := config.DefaultRFP()
 	cfgPAT.UsePAT = true

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"rfpsim/internal/config"
@@ -16,7 +17,7 @@ func TestSuitePopulationFacts(t *testing.T) {
 		t.Skip("long")
 	}
 	opts := Quick()
-	runs := runConfig(config.Baseline(), opts)
+	runs := runConfig(context.Background(), config.Baseline(), opts)
 
 	// Fact 1 (Figure 2): the large majority of loads hit the L1.
 	l1 := meanOver(runs, func(s *stats.Sim) float64 { return s.LoadLevelFrac(stats.LevelL1) })

@@ -73,20 +73,24 @@ func (q *Queue) Pop() (Packet, bool) {
 
 // DropWhere removes every queued packet matching pred (used when the
 // corresponding load issues first, §3.3, or is squashed by a branch flush)
-// and returns how many were dropped.
+// and returns how many were dropped. It runs on the simulator's hot path —
+// once per load that beats its own prefetch — so the ring is compacted in
+// place: kept packets slide toward head, preserving FIFO order, with zero
+// allocations (guarded by TestDropWhereDoesNotAllocate).
 func (q *Queue) DropWhere(pred func(Packet) bool) int {
-	kept := make([]Packet, 0, q.size)
-	dropped := 0
+	n := len(q.buf)
+	w := 0 // packets kept so far; write cursor is head+w
 	for i := 0; i < q.size; i++ {
-		p := q.buf[(q.head+i)%len(q.buf)]
+		p := q.buf[(q.head+i)%n]
 		if pred(p) {
-			dropped++
-		} else {
-			kept = append(kept, p)
+			continue
 		}
+		if w != i {
+			q.buf[(q.head+w)%n] = p
+		}
+		w++
 	}
-	q.head = 0
-	q.size = len(kept)
-	copy(q.buf, kept)
+	dropped := q.size - w
+	q.size = w
 	return dropped
 }

@@ -1,0 +1,115 @@
+package rfp
+
+import "testing"
+
+func fillQueue(q *Queue, n int) {
+	for i := 0; i < n; i++ {
+		if !q.Push(Packet{LoadID: i, Addr: uint64(i) * 64}) {
+			panic("queue full during test fill")
+		}
+	}
+}
+
+func TestQueueFIFOAndWraparound(t *testing.T) {
+	q := NewQueue(4)
+	fillQueue(q, 4)
+	if q.Push(Packet{LoadID: 99}) {
+		t.Fatal("push into a full queue succeeded")
+	}
+	// Pop two, push two more: head is now mid-buffer and the ring wraps.
+	for want := 0; want < 2; want++ {
+		p, ok := q.Pop()
+		if !ok || p.LoadID != want {
+			t.Fatalf("pop = %v,%v, want LoadID %d", p, ok, want)
+		}
+	}
+	q.Push(Packet{LoadID: 4})
+	q.Push(Packet{LoadID: 5})
+	for want := 2; want <= 5; want++ {
+		p, ok := q.Pop()
+		if !ok || p.LoadID != want {
+			t.Fatalf("pop after wrap = %v,%v, want LoadID %d", p, ok, want)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+}
+
+func TestDropWherePreservesOrderAcrossWrap(t *testing.T) {
+	q := NewQueue(8)
+	fillQueue(q, 8)
+	// Advance head so the live window wraps the buffer edge.
+	q.Pop()
+	q.Pop()
+	q.Pop()
+	q.Push(Packet{LoadID: 8})
+	q.Push(Packet{LoadID: 9})
+	// Live contents: 3 4 5 6 7 8 9. Drop the even LoadIDs.
+	dropped := q.DropWhere(func(p Packet) bool { return p.LoadID%2 == 0 })
+	if dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", dropped)
+	}
+	var got []int
+	for {
+		p, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, p.LoadID)
+	}
+	want := []int{3, 5, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("kept %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kept %v, want %v (FIFO order broken)", got, want)
+		}
+	}
+}
+
+func TestDropWhereAllAndNone(t *testing.T) {
+	q := NewQueue(8)
+	fillQueue(q, 5)
+	if d := q.DropWhere(func(Packet) bool { return false }); d != 0 || q.Len() != 5 {
+		t.Fatalf("drop-none: dropped %d, len %d", d, q.Len())
+	}
+	if d := q.DropWhere(func(Packet) bool { return true }); d != 5 || q.Len() != 0 {
+		t.Fatalf("drop-all: dropped %d, len %d", d, q.Len())
+	}
+	// The queue must remain fully usable after being emptied in place.
+	fillQueue(q, 8)
+	if q.Len() != 8 {
+		t.Fatalf("refill after drop-all: len %d, want 8", q.Len())
+	}
+}
+
+// TestDropWhereDoesNotAllocate pins the zero-allocation guarantee:
+// DropWhere runs once per load that beats its own prefetch, which is hot
+// enough that a per-call slice allocation shows up in suite-wide profiles.
+func TestDropWhereDoesNotAllocate(t *testing.T) {
+	q := NewQueue(64)
+	pred := func(p Packet) bool { return p.LoadID%3 == 0 }
+	allocs := testing.AllocsPerRun(100, func() {
+		for q.Len() < 64 {
+			q.Push(Packet{LoadID: q.Len()})
+		}
+		q.DropWhere(pred)
+	})
+	if allocs != 0 {
+		t.Fatalf("DropWhere allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func BenchmarkQueueDropWhere(b *testing.B) {
+	q := NewQueue(64)
+	pred := func(p Packet) bool { return p.LoadID%3 == 0 }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for q.Len() < 64 {
+			q.Push(Packet{LoadID: q.Len()})
+		}
+		q.DropWhere(pred)
+	}
+}

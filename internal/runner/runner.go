@@ -1,0 +1,96 @@
+// Package runner executes complete simulation jobs: construct a core for a
+// workload, warm caches and predictors, run the measurement window, and
+// optionally replicate the whole sequence across perturbed seeds. It is
+// the single code path behind the batch CLIs (cmd/rfpsim,
+// cmd/suitestats), the experiment harness and the rfpsimd service, so
+// cancellation and determinism behave identically everywhere.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"rfpsim/internal/config"
+	"rfpsim/internal/core"
+	"rfpsim/internal/isa"
+	"rfpsim/internal/stats"
+	"rfpsim/internal/trace"
+)
+
+// SeedStride perturbs the workload seed between replicas (a large odd
+// constant — the golden-ratio increment — so replica seeds are well
+// spread). It is part of the deterministic job definition: the same Job
+// always simulates the same replica set.
+const SeedStride = 0x9E3779B97F4A7C15
+
+// Job describes one deterministic simulation unit.
+type Job struct {
+	// Config is the core configuration to simulate.
+	Config config.Core
+	// Spec names the workload. With Gen unset, each replica runs
+	// Spec.New() with a per-replica perturbed seed.
+	Spec trace.Spec
+	// Gen, when set, overrides Spec.New() as the uop source (the
+	// trace-file path). Generator state is consumed by a run, so Gen
+	// requires Seeds <= 1.
+	Gen isa.Generator
+	// WarmupUops runs (and discards) this many uops before measuring.
+	WarmupUops uint64
+	// MeasureUops is the measured window length.
+	MeasureUops uint64
+	// Seeds > 1 replicates the job with perturbed generator seeds and sums
+	// the counters (ratios over the sums are replica-weighted averages).
+	Seeds int
+	// ColdCaches skips footprint-based cache warming.
+	ColdCaches bool
+	// AfterWarmup, when set, observes each replica's core between warmup
+	// and the measured run (pipe traces, per-PC profiles).
+	AfterWarmup func(*core.Core)
+}
+
+func (j Job) seeds() int {
+	if j.Seeds > 1 {
+		return j.Seeds
+	}
+	return 1
+}
+
+// Run executes the job, honouring ctx cancellation between and within
+// replicas. On any error — including cancellation — the partially
+// accumulated total is discarded and a nil Sim is returned: a Job's result
+// is all replicas or nothing, so averaged metrics can never silently mix
+// replica counts.
+func Run(ctx context.Context, job Job) (*stats.Sim, error) {
+	if err := job.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("runner: invalid config: %w", err)
+	}
+	if job.Gen != nil && job.seeds() > 1 {
+		return nil, errors.New("runner: a generator override supports a single seed only")
+	}
+	total := &stats.Sim{}
+	for s := 0; s < job.seeds(); s++ {
+		replica := job.Spec
+		replica.Seed = job.Spec.Seed + uint64(s)*SeedStride
+		gen := job.Gen
+		if gen == nil {
+			gen = replica.New()
+		}
+		c := core.New(job.Config, gen)
+		if !job.ColdCaches {
+			c.WarmCaches()
+		}
+		if err := c.Warmup(ctx, job.WarmupUops); err != nil {
+			return nil, fmt.Errorf("runner: %s seed %d warmup: %w", job.Spec.Name, s, err)
+		}
+		if job.AfterWarmup != nil {
+			job.AfterWarmup(c)
+		}
+		st, err := c.Run(ctx, job.MeasureUops)
+		if err != nil {
+			return nil, fmt.Errorf("runner: %s seed %d: %w", job.Spec.Name, s, err)
+		}
+		stats.Accumulate(total, st)
+	}
+	return total, nil
+}

@@ -1,0 +1,50 @@
+package service
+
+import "sync"
+
+// resultCache is the content-addressed result cache. Simulations are
+// deterministic pure functions of their job key — (config digest, workload
+// spec, seed, windows) — so a cached body can be replayed byte-for-byte
+// for any identical request. Entries are evicted FIFO beyond maxEntries;
+// bodies are small (one marshalled stats block), so the default cap keeps
+// the cache a few MB at most.
+type resultCache struct {
+	mu         sync.RWMutex
+	entries    map[string][]byte
+	order      []string // insertion order for FIFO eviction
+	maxEntries int
+}
+
+func newResultCache(maxEntries int) *resultCache {
+	if maxEntries <= 0 {
+		maxEntries = 4096
+	}
+	return &resultCache{entries: make(map[string][]byte), maxEntries: maxEntries}
+}
+
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	body, ok := c.entries[key]
+	return body, ok
+}
+
+func (c *resultCache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return // identical request raced; the bodies are identical too
+	}
+	for len(c.entries) >= c.maxEntries && len(c.order) > 0 {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.entries[key] = body
+	c.order = append(c.order, key)
+}
+
+func (c *resultCache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}

@@ -1,0 +1,61 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics aggregates the service's observability counters. All fields are
+// atomics so workers and handlers update them without locks; the /metrics
+// endpoint renders them in the Prometheus text exposition format.
+type Metrics struct {
+	jobsQueued  atomic.Int64 // gauge: jobs accepted but not yet running
+	jobsRunning atomic.Int64 // gauge: jobs currently simulating
+
+	jobsOK        atomic.Uint64 // counter: jobs finished successfully
+	jobsCancelled atomic.Uint64 // counter: jobs cancelled (timeout/disconnect)
+	jobsFailed    atomic.Uint64 // counter: jobs that errored (wedge, bad trace)
+	jobsRejected  atomic.Uint64 // counter: jobs refused with 429 (queue full)
+
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+
+	simCycles    atomic.Uint64 // total simulated cycles across all jobs
+	simBusyNanos atomic.Uint64 // total wall time workers spent simulating
+}
+
+// WritePrometheus renders the counters in the text exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	busy := float64(m.simBusyNanos.Load()) / 1e9
+	cyclesPerSec := 0.0
+	if busy > 0 {
+		cyclesPerSec = float64(m.simCycles.Load()) / busy
+	}
+	fmt.Fprintf(w, "# HELP rfpsimd_jobs_queued Jobs accepted and waiting for a worker.\n")
+	fmt.Fprintf(w, "# TYPE rfpsimd_jobs_queued gauge\n")
+	fmt.Fprintf(w, "rfpsimd_jobs_queued %d\n", m.jobsQueued.Load())
+	fmt.Fprintf(w, "# HELP rfpsimd_jobs_running Jobs currently simulating.\n")
+	fmt.Fprintf(w, "# TYPE rfpsimd_jobs_running gauge\n")
+	fmt.Fprintf(w, "rfpsimd_jobs_running %d\n", m.jobsRunning.Load())
+	fmt.Fprintf(w, "# HELP rfpsimd_jobs_done_total Finished jobs by outcome.\n")
+	fmt.Fprintf(w, "# TYPE rfpsimd_jobs_done_total counter\n")
+	fmt.Fprintf(w, "rfpsimd_jobs_done_total{status=\"ok\"} %d\n", m.jobsOK.Load())
+	fmt.Fprintf(w, "rfpsimd_jobs_done_total{status=\"cancelled\"} %d\n", m.jobsCancelled.Load())
+	fmt.Fprintf(w, "rfpsimd_jobs_done_total{status=\"error\"} %d\n", m.jobsFailed.Load())
+	fmt.Fprintf(w, "# HELP rfpsimd_jobs_rejected_total Jobs refused with 429 because the queue was full.\n")
+	fmt.Fprintf(w, "# TYPE rfpsimd_jobs_rejected_total counter\n")
+	fmt.Fprintf(w, "rfpsimd_jobs_rejected_total %d\n", m.jobsRejected.Load())
+	fmt.Fprintf(w, "# HELP rfpsimd_cache_hits_total Requests served from the result cache.\n")
+	fmt.Fprintf(w, "# TYPE rfpsimd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "rfpsimd_cache_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprintf(w, "# HELP rfpsimd_cache_misses_total Requests that had to simulate.\n")
+	fmt.Fprintf(w, "# TYPE rfpsimd_cache_misses_total counter\n")
+	fmt.Fprintf(w, "rfpsimd_cache_misses_total %d\n", m.cacheMisses.Load())
+	fmt.Fprintf(w, "# HELP rfpsimd_sim_cycles_total Simulated core cycles across all jobs.\n")
+	fmt.Fprintf(w, "# TYPE rfpsimd_sim_cycles_total counter\n")
+	fmt.Fprintf(w, "rfpsimd_sim_cycles_total %d\n", m.simCycles.Load())
+	fmt.Fprintf(w, "# HELP rfpsimd_sim_cycles_per_second Simulated cycles per wall-clock second of worker busy time.\n")
+	fmt.Fprintf(w, "# TYPE rfpsimd_sim_cycles_per_second gauge\n")
+	fmt.Fprintf(w, "rfpsimd_sim_cycles_per_second %g\n", cyclesPerSec)
+}

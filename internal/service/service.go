@@ -1,0 +1,443 @@
+// Package service implements rfpsimd, the long-running simulation daemon:
+// an HTTP API that accepts simulation jobs, runs them on a bounded worker
+// pool with backpressure, caches results by content address (simulations
+// are deterministic pure functions of their job description), and exposes
+// Prometheus-style metrics. The batch CLIs and this service share the same
+// runner code, so a job submitted over HTTP produces bit-identical
+// statistics to the same job run with cmd/rfpsim.
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"rfpsim/internal/runner"
+	"rfpsim/internal/stats"
+	"rfpsim/internal/trace"
+	"rfpsim/internal/tracefile"
+)
+
+// Options configures the daemon.
+type Options struct {
+	// Workers bounds concurrent simulations (0 = NumCPU).
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running; a full queue
+	// rejects new jobs with 429 (0 = 4x Workers).
+	QueueDepth int
+	// CacheEntries bounds the result cache (0 = 4096).
+	CacheEntries int
+	// MaxJobUops caps (warmup+measure)*seeds per job so one request cannot
+	// monopolize a worker for hours (0 = 50M).
+	MaxJobUops uint64
+	// DefaultTimeout applies to jobs that do not set timeout_ms (0 = none).
+	DefaultTimeout time.Duration
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+func (o Options) queueDepth() int {
+	if o.QueueDepth > 0 {
+		return o.QueueDepth
+	}
+	return 4 * o.workers()
+}
+
+func (o Options) maxJobUops() uint64 {
+	if o.MaxJobUops > 0 {
+		return o.MaxJobUops
+	}
+	return 50_000_000
+}
+
+// SimRequest is the POST /v1/sim body.
+type SimRequest struct {
+	// Workload names a Table 3 suite entry. Exactly one of Workload and
+	// TraceB64 must be set.
+	Workload string `json:"workload,omitempty"`
+	// TraceB64 is a base64-encoded .rfpt binary trace to simulate instead
+	// of a catalog workload (single seed only).
+	TraceB64 string `json:"trace_b64,omitempty"`
+	// Config selects the core configuration knobs.
+	Config ConfigSpec `json:"config"`
+	// WarmupUops and MeasureUops are the simulation windows
+	// (default 30000/60000, matching the batch tools).
+	WarmupUops  uint64 `json:"warmup_uops,omitempty"`
+	MeasureUops uint64 `json:"measure_uops,omitempty"`
+	// Seeds > 1 averages that many perturbed seed replicas.
+	Seeds int `json:"seeds,omitempty"`
+	// ColdCaches skips footprint-based cache warming.
+	ColdCaches bool `json:"cold_caches,omitempty"`
+	// TimeoutMS cancels the job after this many milliseconds of wall time.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SimResponse is the POST /v1/sim result body. It contains no wall-clock
+// or otherwise nondeterministic fields: identical requests produce
+// byte-identical bodies, which is what makes the result cache a pure
+// replay (the X-Rfpsimd-Cache header, not the body, distinguishes hit
+// from miss).
+type SimResponse struct {
+	// Workload echoes the workload name (or trace digest).
+	Workload string `json:"workload"`
+	// Config is the resolved configuration name.
+	Config string `json:"config"`
+	// Seeds is the number of replicas summed into Stats.
+	Seeds int `json:"seeds"`
+	// WarmupUops/MeasureUops echo the resolved windows.
+	WarmupUops  uint64 `json:"warmup_uops"`
+	MeasureUops uint64 `json:"measure_uops"`
+	// Cycles and Instructions aggregate the measured window across seeds.
+	Cycles       uint64 `json:"cycles"`
+	Instructions uint64 `json:"instructions"`
+	// IPC is the replica-weighted instructions per cycle.
+	IPC float64 `json:"ipc"`
+	// Stats is the full statistics block (counters summed across seeds).
+	Stats *stats.Sim `json:"stats"`
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error  string `json:"error"`
+	Status string `json:"status"` // "invalid", "rejected", "cancelled", "error"
+}
+
+// resolvedJob is a validated request plus everything needed to execute it.
+type resolvedJob struct {
+	req      SimRequest
+	job      runner.Job
+	traceRaw []byte // decoded trace upload, nil for catalog workloads
+	key      string
+}
+
+type jobResult struct {
+	body []byte
+	st   *stats.Sim
+	err  error
+}
+
+type job struct {
+	ctx      context.Context
+	resolved *resolvedJob
+	result   chan jobResult // buffered; the worker never blocks on it
+}
+
+// Server is the rfpsimd daemon state: worker pool, queue, cache, metrics.
+type Server struct {
+	opts    Options
+	queue   chan *job
+	wg      sync.WaitGroup
+	metrics *Metrics
+	cache   *resultCache
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// New starts the worker pool and returns the server. Callers must Close it
+// to drain.
+func New(opts Options) *Server {
+	s := &Server{
+		opts:    opts,
+		queue:   make(chan *job, opts.queueDepth()),
+		metrics: &Metrics{},
+		cache:   newResultCache(opts.CacheEntries),
+	}
+	for i := 0; i < opts.workers(); i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics exposes the counter block (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close drains the service: no new jobs are accepted, queued and running
+// jobs finish (their waiting handlers get results), then the workers exit.
+// Call http.Server.Shutdown first so no handler is still trying to
+// enqueue.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// enqueue adds a job unless the queue is full or the server is draining.
+func (s *Server) enqueue(j *job) (ok, draining bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return false, true
+	}
+	select {
+	case s.queue <- j:
+		s.metrics.jobsQueued.Add(1)
+		return true, false
+	default:
+		return false, false
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.metrics.jobsQueued.Add(-1)
+		s.metrics.jobsRunning.Add(1)
+		start := time.Now()
+		res := s.execute(j.ctx, j.resolved)
+		s.metrics.simBusyNanos.Add(uint64(time.Since(start)))
+		s.metrics.jobsRunning.Add(-1)
+		switch {
+		case res.err == nil:
+			s.metrics.jobsOK.Add(1)
+			s.metrics.simCycles.Add(res.st.Cycles)
+		case errors.Is(res.err, context.Canceled) || errors.Is(res.err, context.DeadlineExceeded):
+			s.metrics.jobsCancelled.Add(1)
+		default:
+			s.metrics.jobsFailed.Add(1)
+		}
+		j.result <- res
+	}
+}
+
+// execute runs one resolved job and marshals (and caches) its response.
+func (s *Server) execute(ctx context.Context, rj *resolvedJob) jobResult {
+	job := rj.job
+	if rj.traceRaw != nil {
+		r, err := tracefile.NewReader(bytes.NewReader(rj.traceRaw), job.Spec.Name)
+		if err != nil {
+			return jobResult{err: fmt.Errorf("bad trace upload: %w", err)}
+		}
+		job.Gen = r
+	}
+	st, err := runner.Run(ctx, job)
+	if err != nil {
+		return jobResult{err: err}
+	}
+	resp := SimResponse{
+		Workload:     job.Spec.Name,
+		Config:       job.Config.Name,
+		Seeds:        job.Seeds,
+		WarmupUops:   job.WarmupUops,
+		MeasureUops:  job.MeasureUops,
+		Cycles:       st.Cycles,
+		Instructions: st.Instructions,
+		IPC:          st.IPC(),
+		Stats:        st,
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return jobResult{err: err}
+	}
+	body = append(body, '\n')
+	s.cache.put(rj.key, body)
+	return jobResult{body: body, st: st}
+}
+
+// resolve validates a request into an executable job with its cache key.
+func (s *Server) resolve(req SimRequest) (*resolvedJob, error) {
+	if (req.Workload == "") == (req.TraceB64 == "") {
+		return nil, errors.New("exactly one of workload and trace_b64 must be set")
+	}
+	if req.WarmupUops == 0 {
+		req.WarmupUops = 30000
+	}
+	if req.MeasureUops == 0 {
+		req.MeasureUops = 60000
+	}
+	if req.Seeds < 1 {
+		req.Seeds = 1
+	}
+	cfg, err := req.Config.Build()
+	if err != nil {
+		return nil, err
+	}
+	total := (req.WarmupUops + req.MeasureUops) * uint64(req.Seeds)
+	if total > s.opts.maxJobUops() {
+		return nil, fmt.Errorf("job size %d uops exceeds the per-job limit of %d", total, s.opts.maxJobUops())
+	}
+
+	rj := &resolvedJob{req: req}
+	workloadKey := ""
+	if req.Workload != "" {
+		spec, ok := trace.ByName(req.Workload)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q (GET /v1/workloads lists the suite)", req.Workload)
+		}
+		rj.job.Spec = spec
+		workloadKey = fmt.Sprintf("workload:%s:seed:%d", spec.Name, spec.Seed)
+	} else {
+		raw, err := base64.StdEncoding.DecodeString(req.TraceB64)
+		if err != nil {
+			return nil, fmt.Errorf("trace_b64 is not valid base64: %w", err)
+		}
+		if req.Seeds > 1 {
+			return nil, errors.New("seed replication requires a catalog workload, not an uploaded trace")
+		}
+		digest := sha256.Sum256(raw)
+		rj.traceRaw = raw
+		rj.job.Spec = trace.Spec{Name: "trace:" + hex.EncodeToString(digest[:8]), Category: "trace-file"}
+		workloadKey = "trace:" + hex.EncodeToString(digest[:])
+	}
+	rj.job.Config = cfg
+	rj.job.WarmupUops = req.WarmupUops
+	rj.job.MeasureUops = req.MeasureUops
+	rj.job.Seeds = req.Seeds
+	rj.job.ColdCaches = req.ColdCaches
+
+	// The cache key addresses the simulation's full input: the resolved
+	// configuration (digested field by field), the workload spec and base
+	// seed (or trace content digest), the windows, the replica count, and
+	// cache warming. Determinism makes identical keys identical results.
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "config:%s|%s|warmup:%d|measure:%d|seeds:%d|cold:%t",
+		cfgJSON, workloadKey, req.WarmupUops, req.MeasureUops, req.Seeds, req.ColdCaches)
+	rj.key = hex.EncodeToString(h.Sum(nil))
+	return rj, nil
+}
+
+// Handler returns the HTTP API: POST /v1/sim, GET /v1/workloads,
+// GET /healthz, GET /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/sim", s.handleSim)
+	mux.HandleFunc("/v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSONError(w http.ResponseWriter, code int, status, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: msg, Status: status})
+}
+
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "invalid", "POST only")
+		return
+	}
+	var req SimRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "invalid", "bad request body: "+err.Error())
+		return
+	}
+	rj, err := s.resolve(req)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, "invalid", err.Error())
+		return
+	}
+
+	if body, ok := s.cache.get(rj.key); ok {
+		s.metrics.cacheHits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Rfpsimd-Cache", "hit")
+		w.Write(body)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	ctx := r.Context() // client disconnect cancels the job
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	} else if s.opts.DefaultTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.DefaultTimeout)
+		defer cancel()
+	}
+
+	j := &job{ctx: ctx, resolved: rj, result: make(chan jobResult, 1)}
+	if ok, draining := s.enqueue(j); !ok {
+		s.metrics.jobsRejected.Add(1)
+		if draining {
+			writeJSONError(w, http.StatusServiceUnavailable, "rejected", "server is draining")
+		} else {
+			writeJSONError(w, http.StatusTooManyRequests, "rejected", "job queue is full, retry later")
+		}
+		return
+	}
+
+	// The worker always replies: cancellation propagates through ctx into
+	// the simulation loop, which aborts within a context-poll interval.
+	res := <-j.result
+	switch {
+	case res.err == nil:
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Rfpsimd-Cache", "miss")
+		w.Write(res.body)
+	case errors.Is(res.err, context.Canceled) || errors.Is(res.err, context.DeadlineExceeded):
+		writeJSONError(w, http.StatusRequestTimeout, "cancelled", res.err.Error())
+	default:
+		writeJSONError(w, http.StatusInternalServerError, "error", res.err.Error())
+	}
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name     string `json:"name"`
+		Category string `json:"category"`
+	}
+	var out []entry
+	for _, c := range trace.Categories() {
+		for _, spec := range trace.ByCategory(c) {
+			out = append(out, entry{Name: spec.Name, Category: string(spec.Category)})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	draining := s.closed
+	s.mu.RUnlock()
+	status := "ok"
+	code := http.StatusOK
+	if draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]interface{}{
+		"status":        status,
+		"workers":       s.opts.workers(),
+		"queue_depth":   s.opts.queueDepth(),
+		"jobs_queued":   s.metrics.jobsQueued.Load(),
+		"jobs_running":  s.metrics.jobsRunning.Load(),
+		"cache_entries": s.cache.len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w)
+}

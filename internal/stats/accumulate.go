@@ -1,0 +1,50 @@
+package stats
+
+// Accumulate folds src's counters into dst. It is the seed-replica merge
+// used by -seeds averaging and by the rfpsimd service: every replica's
+// counters are summed, so ratios computed from the sums are
+// replica-weighted averages. Every numeric field of Sim (recursively
+// through the nested counter blocks) must be propagated here; the
+// reflection test in accumulate_test.go walks the struct and fails if a
+// newly added counter is missing.
+func Accumulate(dst, src *Sim) {
+	dst.Cycles += src.Cycles
+	dst.Instructions += src.Instructions
+	dst.Loads += src.Loads
+	dst.Stores += src.Stores
+	dst.Branches += src.Branches
+	dst.BranchMispredicts += src.BranchMispredicts
+	for l := range dst.LoadHitLevel {
+		dst.LoadHitLevel[l] += src.LoadHitLevel[l]
+	}
+	dst.StoreForwarded += src.StoreForwarded
+	dst.MemOrderViolations += src.MemOrderViolations
+	dst.HitMissMispredicts += src.HitMissMispredicts
+	dst.Replays += src.Replays
+	dst.RFP.Injected += src.RFP.Injected
+	dst.RFP.Dropped += src.RFP.Dropped
+	dst.RFP.DroppedTLBMiss += src.RFP.DroppedTLBMiss
+	dst.RFP.Executed += src.RFP.Executed
+	dst.RFP.Useful += src.RFP.Useful
+	dst.RFP.FullyHidden += src.RFP.FullyHidden
+	dst.RFP.Wrong += src.RFP.Wrong
+	dst.RFP.L1Misses += src.RFP.L1Misses
+	dst.RFP.PortConflicts += src.RFP.PortConflicts
+	dst.VP.Predicted += src.VP.Predicted
+	dst.VP.Correct += src.VP.Correct
+	dst.VP.Mispredicted += src.VP.Mispredicted
+	dst.AP.AddressPredictable += src.AP.AddressPredictable
+	dst.AP.HighConfidence += src.AP.HighConfidence
+	dst.AP.NoFwdPass += src.AP.NoFwdPass
+	dst.AP.ProbeLaunched += src.AP.ProbeLaunched
+	dst.AP.ProbeInTime += src.AP.ProbeInTime
+	dst.DTLBMisses += src.DTLBMisses
+	dst.L1Accesses += src.L1Accesses
+	dst.LoadsAddrReadyAtAlloc += src.LoadsAddrReadyAtAlloc
+	dst.Slots.Retired += src.Slots.Retired
+	dst.Slots.StallLoad += src.Slots.StallLoad
+	dst.Slots.StallExec += src.Slots.StallExec
+	dst.Slots.StallEmpty += src.Slots.StallEmpty
+	dst.VPFlushes += src.VPFlushes
+	dst.EPPReexecutions += src.EPPReexecutions
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// numericFieldPaths walks t recursively (structs and arrays) and returns
+// the path of every numeric leaf field, e.g. "RFP.Useful" or
+// "LoadHitLevel[2]".
+func numericFieldPaths(t reflect.Type, prefix string) []string {
+	var paths []string
+	switch t.Kind() {
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			p := f.Name
+			if prefix != "" {
+				p = prefix + "." + f.Name
+			}
+			paths = append(paths, numericFieldPaths(f.Type, p)...)
+		}
+	case reflect.Array:
+		for i := 0; i < t.Len(); i++ {
+			paths = append(paths, numericFieldPaths(t.Elem(), fmt.Sprintf("%s[%d]", prefix, i))...)
+		}
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Float32, reflect.Float64:
+		paths = append(paths, prefix)
+	default:
+		// Non-numeric leaves (none exist in Sim today) are not counters and
+		// are ignored.
+	}
+	return paths
+}
+
+// fieldByPath resolves a path produced by numericFieldPaths against v.
+func fieldByPath(v reflect.Value, path string) reflect.Value {
+	cur := v
+	for len(path) > 0 {
+		switch path[0] {
+		case '.':
+			path = path[1:]
+		case '[':
+			var idx int
+			var rest string
+			end := 1
+			for path[end] != ']' {
+				end++
+			}
+			fmt.Sscanf(path[1:end], "%d", &idx)
+			rest = path[end+1:]
+			cur = cur.Index(idx)
+			path = rest
+		default:
+			end := 0
+			for end < len(path) && path[end] != '.' && path[end] != '[' {
+				end++
+			}
+			cur = cur.FieldByName(path[:end])
+			path = path[end:]
+		}
+	}
+	return cur
+}
+
+// setNumeric stores sentinel into a numeric field.
+func setNumeric(v reflect.Value, sentinel uint64) {
+	switch v.Kind() {
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(float64(sentinel))
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(int64(sentinel))
+	default:
+		v.SetUint(sentinel)
+	}
+}
+
+func readNumeric(v reflect.Value) uint64 {
+	switch v.Kind() {
+	case reflect.Float32, reflect.Float64:
+		return uint64(v.Float())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return uint64(v.Int())
+	default:
+		return v.Uint()
+	}
+}
+
+// TestAccumulatePropagatesEveryCounter sets each numeric field of Sim
+// (recursively, including the RFP/VP/AP/Slots blocks and the hit-level
+// array) to a sentinel in the source and asserts Accumulate adds it into
+// the destination. A counter added to Sim but forgotten in Accumulate
+// would silently vanish from -seeds averaging; this test turns that into a
+// named failure.
+func TestAccumulatePropagatesEveryCounter(t *testing.T) {
+	paths := numericFieldPaths(reflect.TypeOf(Sim{}), "")
+	if len(paths) < 30 {
+		t.Fatalf("walker found only %d numeric fields in stats.Sim — walker bug?", len(paths))
+	}
+	const sentinel = 7
+	for _, path := range paths {
+		src, dst := &Sim{}, &Sim{}
+		setNumeric(fieldByPath(reflect.ValueOf(src).Elem(), path), sentinel)
+		Accumulate(dst, src)
+		if got := readNumeric(fieldByPath(reflect.ValueOf(dst).Elem(), path)); got != sentinel {
+			t.Errorf("Accumulate drops Sim.%s: dst = %d, want %d", path, got, sentinel)
+		}
+	}
+}
+
+// TestAccumulateAddsOntoExisting checks summation (not overwrite)
+// semantics for a representative subset.
+func TestAccumulateAddsOntoExisting(t *testing.T) {
+	dst := &Sim{Cycles: 10, Loads: 3}
+	dst.RFP.Useful = 2
+	src := &Sim{Cycles: 5, Loads: 4}
+	src.RFP.Useful = 1
+	Accumulate(dst, src)
+	if dst.Cycles != 15 || dst.Loads != 7 || dst.RFP.Useful != 3 {
+		t.Errorf("Accumulate did not sum: Cycles=%d Loads=%d Useful=%d", dst.Cycles, dst.Loads, dst.RFP.Useful)
+	}
+}
