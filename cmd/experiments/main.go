@@ -18,7 +18,6 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -80,7 +79,7 @@ func main() {
 		// A fresh (empty) file gets the column header; appending to an
 		// existing file must not repeat it.
 		if st, err := f.Stat(); err == nil && st.Size() == 0 {
-			csvW.Write([]string{"experiment", "metric", "value"})
+			csvW.Write(experiments.MetricsCSVHeader)
 		}
 	}
 	// flushCSV surfaces buffered csv.Writer errors — a full disk must not
@@ -125,7 +124,7 @@ func main() {
 		fmt.Println(res.Text)
 		if csvW != nil {
 			for _, k := range res.MetricKeys() {
-				csvW.Write([]string{res.ID, k, strconv.FormatFloat(res.Metrics[k], 'g', -1, 64)})
+				csvW.Write([]string{res.ID, k, experiments.FormatMetric(res.Metrics[k])})
 			}
 		}
 	}

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	rfpsimd [-addr :8080] [-workers N] [-queue N] [-cache N]
-//	        [-timeout 5m] [-maxuops N] [-drain 30s]
+//	        [-timeout 5m] [-maxuops N] [-drain 30s] [-http-timeout 2m]
 package main
 
 import (
@@ -33,6 +33,7 @@ func main() {
 		timeout = flag.Duration("timeout", 10*time.Minute, "default per-job timeout (0 = none)")
 		maxUops = flag.Uint64("maxuops", 0, "per-job uop ceiling, (warmup+measure)*seeds (0 = 50M)")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline on SIGTERM/SIGINT")
+		httpTO  = flag.Duration("http-timeout", 2*time.Minute, "read/idle timeout per HTTP connection (slowloris guard)")
 	)
 	flag.Parse()
 
@@ -43,7 +44,22 @@ func main() {
 		MaxJobUops:     *maxUops,
 		DefaultTimeout: *timeout,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	// A slow or stalled client must not hold a connection (and its
+	// handler goroutine) forever: bound header parsing tightly and body
+	// reads/idle keep-alives by -http-timeout. WriteTimeout is deliberately
+	// left unset — it would start ticking while a legitimate multi-minute
+	// simulation is still running; the per-job -timeout bounds that side.
+	headerTO := 15 * time.Second
+	if *httpTO > 0 && *httpTO < headerTO {
+		headerTO = *httpTO
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: headerTO,
+		ReadTimeout:       *httpTO,
+		IdleTimeout:       *httpTO,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

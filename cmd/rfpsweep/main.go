@@ -1,0 +1,136 @@
+// Command rfpsweep runs a configuration-space sweep — the paper's Figures
+// 13–18 are all sweeps — as a fault-tolerant orchestration over either the
+// in-process runner or a fleet of rfpsimd daemons. Every completed unit is
+// journalled to an append-only JSONL checkpoint, so a crashed or killed
+// sweep resumes with -resume and re-runs only the missing units; the final
+// CSV is byte-identical however many times the sweep was interrupted and
+// whichever backend executed it. See docs/sweep.md for the spec format.
+//
+// Usage:
+//
+//	rfpsweep -spec sweep.json [-out sweep.csv] [-checkpoint sweep.ckpt]
+//	         [-resume] [-endpoints http://a:8080,http://b:8080]
+//	         [-parallel N] [-retries N] [-progress 5s] [-metrics] [-dry-run]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rfpsim/internal/sweep"
+)
+
+func main() {
+	var (
+		specPath   = flag.String("spec", "", "sweep spec JSON file (required)")
+		outPath    = flag.String("out", "", "aggregate CSV output file (default stdout)")
+		checkpoint = flag.String("checkpoint", "", "append-only JSONL checkpoint journal")
+		resume     = flag.Bool("resume", false, "replay the checkpoint and run only missing units")
+		endpoints  = flag.String("endpoints", "", "comma-separated rfpsimd base URLs (empty = run in-process)")
+		parallel   = flag.Int("parallel", 0, "units in flight at once (0 = 4)")
+		retries    = flag.Int("retries", 0, "max attempts per unit on the http backend (0 = 8)")
+		progress   = flag.Duration("progress", 5*time.Second, "progress/ETA report interval (0 = quiet)")
+		metrics    = flag.Bool("metrics", false, "dump Prometheus-style sweep counters to stderr at the end")
+		dryRun     = flag.Bool("dry-run", false, "expand and print the unit grid without running it")
+	)
+	flag.Parse()
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "rfpsweep: -spec is required (see docs/sweep.md)")
+		os.Exit(2)
+	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "rfpsweep: -resume needs -checkpoint")
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := sweep.ParseSpec(raw)
+	if err != nil {
+		fatal(err)
+	}
+	units, err := spec.Expand()
+	if err != nil {
+		fatal(err)
+	}
+	if *dryRun {
+		for _, u := range units {
+			fmt.Printf("%s %s\n", u.Key[:12], u.Label)
+		}
+		fmt.Fprintf(os.Stderr, "rfpsweep: %d units\n", len(units))
+		return
+	}
+
+	m := &sweep.Metrics{}
+	var backend sweep.Backend
+	if *endpoints != "" {
+		urls := strings.Split(*endpoints, ",")
+		for i := range urls {
+			urls[i] = strings.TrimSuffix(strings.TrimSpace(urls[i]), "/")
+		}
+		backend, err = sweep.NewHTTPBackend(urls, sweep.HTTPBackendOptions{
+			MaxAttempts: *retries,
+			Metrics:     m,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		backend = sweep.LocalBackend{Metrics: m}
+	}
+
+	opts := sweep.Options{
+		Parallel:       *parallel,
+		CheckpointPath: *checkpoint,
+		Resume:         *resume,
+		ProgressEvery:  *progress,
+	}
+	if *progress > 0 {
+		opts.Progress = os.Stderr
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	sum, runErr := sweep.Run(ctx, units, backend, opts, m)
+	if *metrics && sum != nil {
+		m.WritePrometheus(os.Stderr)
+	}
+	if runErr != nil {
+		if ctx.Err() != nil && *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "rfpsweep: interrupted with %d/%d units journalled; rerun with -resume to finish\n",
+				len(sum.Results), len(units))
+		}
+		fatal(runErr)
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		out = f
+	}
+	if err := sum.WriteCSV(out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rfpsweep: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import "strconv"
+
+// MetricsCSVHeader is the machine-readable output schema shared by
+// cmd/experiments -csv and cmd/rfpsweep: one row per (experiment, metric)
+// pair. Sweep units use their "<sweep>/<workload>/<knobs>" label as the
+// experiment cell, so sweep CSVs concatenate and pivot with figure CSVs.
+var MetricsCSVHeader = []string{"experiment", "metric", "value"}
+
+// FormatMetric renders a metric value exactly the way every CSV emitter
+// in the repo does (shortest round-trip float form), so two emitters
+// writing the same number write the same bytes.
+func FormatMetric(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// FormatCount renders an integer-valued metric (cycles, instructions)
+// without float exponent notation.
+func FormatCount(v uint64) string {
+	return strconv.FormatUint(v, 10)
+}

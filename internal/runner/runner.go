@@ -56,6 +56,13 @@ func (j Job) seeds() int {
 	return 1
 }
 
+// TotalUops is the job's simulated volume across all replicas,
+// (warmup+measure)*seeds. The service checks it against its per-job
+// ceiling and the sweep orchestrator weighs progress/ETA by it.
+func (j Job) TotalUops() uint64 {
+	return (j.WarmupUops + j.MeasureUops) * uint64(j.seeds())
+}
+
 // Run executes the job, honouring ctx cancellation between and within
 // replicas. On any error — including cancellation — the partially
 // accumulated total is discarded and a nil Sim is returned: a Job's result

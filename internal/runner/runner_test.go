@@ -146,3 +146,20 @@ func TestInvalidConfigErrorsInsteadOfPanicking(t *testing.T) {
 		t.Error("invalid config accepted, want error")
 	}
 }
+
+// TestTotalUops: the job-size accounting the service ceiling and the
+// sweep ETA both rely on counts every replica's warmup and measurement.
+func TestTotalUops(t *testing.T) {
+	j := Job{WarmupUops: 30000, MeasureUops: 60000}
+	if got := j.TotalUops(); got != 90000 {
+		t.Errorf("single-seed TotalUops = %d, want 90000", got)
+	}
+	j.Seeds = 3
+	if got := j.TotalUops(); got != 270000 {
+		t.Errorf("3-seed TotalUops = %d, want 270000", got)
+	}
+	j.Seeds = -1 // normalized to one replica, like Run does
+	if got := j.TotalUops(); got != 90000 {
+		t.Errorf("negative-seed TotalUops = %d, want 90000", got)
+	}
+}

@@ -1,0 +1,126 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"rfpsim/internal/runner"
+	"rfpsim/internal/trace"
+	"rfpsim/internal/tracefile"
+)
+
+// normalized returns the request with the documented defaults applied:
+// 30000/60000-uop windows and a single seed. Content addressing always
+// runs on the normalized form, so a request that spells the defaults out
+// and one that omits them share a cache entry.
+func (req SimRequest) normalized() SimRequest {
+	if req.WarmupUops == 0 {
+		req.WarmupUops = 30000
+	}
+	if req.MeasureUops == 0 {
+		req.MeasureUops = 60000
+	}
+	if req.Seeds < 1 {
+		req.Seeds = 1
+	}
+	return req
+}
+
+// resolveRequest validates a request into an executable job plus its
+// content address. It is the single resolution path: the daemon, the
+// exported ResolveJob/ContentAddress helpers and (through them) the sweep
+// orchestrator all agree on what a request means and how it is keyed.
+func resolveRequest(req SimRequest) (*resolvedJob, error) {
+	if (req.Workload == "") == (req.TraceB64 == "") {
+		return nil, errors.New("exactly one of workload and trace_b64 must be set")
+	}
+	req = req.normalized()
+	cfg, err := req.Config.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	rj := &resolvedJob{req: req}
+	workloadKey := ""
+	if req.Workload != "" {
+		spec, ok := trace.ByName(req.Workload)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q (GET /v1/workloads lists the suite)", req.Workload)
+		}
+		rj.job.Spec = spec
+		workloadKey = fmt.Sprintf("workload:%s:seed:%d", spec.Name, spec.Seed)
+	} else {
+		raw, err := base64.StdEncoding.DecodeString(req.TraceB64)
+		if err != nil {
+			return nil, fmt.Errorf("trace_b64 is not valid base64: %w", err)
+		}
+		if req.Seeds > 1 {
+			return nil, errors.New("seed replication requires a catalog workload, not an uploaded trace")
+		}
+		digest := sha256.Sum256(raw)
+		rj.traceRaw = raw
+		rj.job.Spec = trace.Spec{Name: "trace:" + hex.EncodeToString(digest[:8]), Category: "trace-file"}
+		workloadKey = "trace:" + hex.EncodeToString(digest[:])
+	}
+	rj.job.Config = cfg
+	rj.job.WarmupUops = req.WarmupUops
+	rj.job.MeasureUops = req.MeasureUops
+	rj.job.Seeds = req.Seeds
+	rj.job.ColdCaches = req.ColdCaches
+
+	// The cache key addresses the simulation's full input: the resolved
+	// configuration (digested field by field), the workload spec and base
+	// seed (or trace content digest), the windows, the replica count, and
+	// cache warming. Determinism makes identical keys identical results.
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "config:%s|%s|warmup:%d|measure:%d|seeds:%d|cold:%t",
+		cfgJSON, workloadKey, req.WarmupUops, req.MeasureUops, req.Seeds, req.ColdCaches)
+	rj.key = hex.EncodeToString(h.Sum(nil))
+	return rj, nil
+}
+
+// ResolveJob validates a request into the runner job it would execute and
+// the content address the daemon's result cache files it under. Trace
+// uploads get their generator attached, so the returned job is directly
+// runnable via runner.Run; callers outside the daemon (cmd/rfpsweep's
+// local backend) therefore execute the exact code path a POST /v1/sim
+// would, producing bit-identical statistics.
+func ResolveJob(req SimRequest) (runner.Job, string, error) {
+	rj, err := resolveRequest(req)
+	if err != nil {
+		return runner.Job{}, "", err
+	}
+	job := rj.job
+	if rj.traceRaw != nil {
+		r, err := tracefile.NewReader(bytes.NewReader(rj.traceRaw), job.Spec.Name)
+		if err != nil {
+			return runner.Job{}, "", fmt.Errorf("bad trace upload: %w", err)
+		}
+		job.Gen = r
+	}
+	return job, rj.key, nil
+}
+
+// ContentAddress returns the daemon's cache key for a request: the SHA-256
+// over the fully resolved configuration, the workload identity (catalog
+// name and base seed, or the trace digest), the normalized windows, the
+// replica count and the cold-caches flag. It is exported so sweep
+// deduplication and checkpointing key units exactly the way the rfpsimd
+// result cache does — the key format is pinned by a test and must not
+// drift.
+func ContentAddress(req SimRequest) (string, error) {
+	rj, err := resolveRequest(req)
+	if err != nil {
+		return "", err
+	}
+	return rj.key, nil
+}

@@ -1,0 +1,123 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"rfpsim/internal/trace"
+)
+
+// TestContentAddressFormatPinned recomputes the cache key by hand from the
+// documented format and asserts ContentAddress matches. internal/sweep
+// dedups and checkpoints against this exact key, and the daemon's result
+// cache files bodies under it, so the format must not silently drift: if
+// this test fails, either revert the key change or bump every consumer
+// (docs/service.md, docs/sweep.md, existing checkpoints become stale).
+func TestContentAddressFormatPinned(t *testing.T) {
+	req := SimRequest{
+		Workload:    "spec06_mcf",
+		Config:      ConfigSpec{RFP: true, PTEntries: 512},
+		WarmupUops:  5000,
+		MeasureUops: 10000,
+		Seeds:       2,
+	}
+	got, err := ContentAddress(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, err := req.Config.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, ok := trace.ByName(req.Workload)
+	if !ok {
+		t.Fatal("spec06_mcf missing from catalog")
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "config:%s|workload:%s:seed:%d|warmup:%d|measure:%d|seeds:%d|cold:%t",
+		cfgJSON, spec.Name, spec.Seed, 5000, 10000, 2, false)
+	want := hex.EncodeToString(h.Sum(nil))
+	if got != want {
+		t.Errorf("content address format drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestContentAddressNormalizesDefaults: a request spelling out the default
+// windows and seed count shares a key with one that omits them, so clients
+// cannot split the cache by being explicit.
+func TestContentAddressNormalizesDefaults(t *testing.T) {
+	implicit := SimRequest{Workload: "spec06_mcf", Config: ConfigSpec{RFP: true}}
+	explicit := SimRequest{
+		Workload: "spec06_mcf", Config: ConfigSpec{RFP: true},
+		WarmupUops: 30000, MeasureUops: 60000, Seeds: 1,
+	}
+	ki, err := ContentAddress(implicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ke, err := ContentAddress(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ki != ke {
+		t.Errorf("defaulted and explicit requests key differently: %s vs %s", ki, ke)
+	}
+
+	distinct := explicit
+	distinct.Config.PTEntries = 256
+	if kd, err := ContentAddress(distinct); err != nil || kd == ke {
+		t.Errorf("different configs must key differently (err=%v)", err)
+	}
+}
+
+// TestResolveJobMatchesServerKey pins the exported resolution to the
+// daemon's internal one: same job fields, same cache key.
+func TestResolveJobMatchesServerKey(t *testing.T) {
+	req := quickReq()
+	job, key, err := ResolveJob(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{Workers: 1})
+	defer srv.Close()
+	rj, err := srv.resolve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != rj.key {
+		t.Errorf("ResolveJob key %s != server resolve key %s", key, rj.key)
+	}
+	if job.Spec.Name != rj.job.Spec.Name || job.WarmupUops != rj.job.WarmupUops ||
+		job.MeasureUops != rj.job.MeasureUops || job.Seeds != rj.job.Seeds {
+		t.Errorf("ResolveJob job %+v != server job %+v", job, rj.job)
+	}
+	if got, want := job.TotalUops(), (req.WarmupUops+req.MeasureUops)*1; got != want {
+		t.Errorf("TotalUops = %d, want %d", got, want)
+	}
+}
+
+// TestResolveJobErrors mirrors the request-validation table for the
+// exported path.
+func TestResolveJobErrors(t *testing.T) {
+	for i, req := range []SimRequest{
+		{},
+		{Workload: "no_such_workload"},
+		{Workload: "spec06_mcf", Config: ConfigSpec{VP: "bogus"}},
+		{TraceB64: "!!!not-base64!!!"},
+	} {
+		if _, _, err := ResolveJob(req); err == nil {
+			t.Errorf("case %d: ResolveJob accepted an invalid request", i)
+		}
+		if _, err := ContentAddress(req); err == nil {
+			t.Errorf("case %d: ContentAddress accepted an invalid request", i)
+		}
+	}
+}

@@ -10,9 +10,6 @@ package service
 import (
 	"bytes"
 	"context"
-	"crypto/sha256"
-	"encoding/base64"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -108,6 +105,23 @@ type SimResponse struct {
 	IPC float64 `json:"ipc"`
 	// Stats is the full statistics block (counters summed across seeds).
 	Stats *stats.Sim `json:"stats"`
+}
+
+// Response assembles the deterministic result body for a completed job.
+// The daemon and the sweep orchestrator's local backend share it, so a
+// unit executed in-process reports exactly what a POST /v1/sim would.
+func Response(job runner.Job, st *stats.Sim) SimResponse {
+	return SimResponse{
+		Workload:     job.Spec.Name,
+		Config:       job.Config.Name,
+		Seeds:        job.Seeds,
+		WarmupUops:   job.WarmupUops,
+		MeasureUops:  job.MeasureUops,
+		Cycles:       st.Cycles,
+		Instructions: st.Instructions,
+		IPC:          st.IPC(),
+		Stats:        st,
+	}
 }
 
 // errorResponse is the JSON body of every non-2xx response.
@@ -233,18 +247,7 @@ func (s *Server) execute(ctx context.Context, rj *resolvedJob) jobResult {
 	if err != nil {
 		return jobResult{err: err}
 	}
-	resp := SimResponse{
-		Workload:     job.Spec.Name,
-		Config:       job.Config.Name,
-		Seeds:        job.Seeds,
-		WarmupUops:   job.WarmupUops,
-		MeasureUops:  job.MeasureUops,
-		Cycles:       st.Cycles,
-		Instructions: st.Instructions,
-		IPC:          st.IPC(),
-		Stats:        st,
-	}
-	body, err := json.Marshal(resp)
+	body, err := json.Marshal(Response(job, st))
 	if err != nil {
 		return jobResult{err: err}
 	}
@@ -253,69 +256,17 @@ func (s *Server) execute(ctx context.Context, rj *resolvedJob) jobResult {
 	return jobResult{body: body, st: st}
 }
 
-// resolve validates a request into an executable job with its cache key.
+// resolve validates a request into an executable job with its cache key,
+// enforcing this server's per-job size ceiling on top of the shared
+// resolution path (see address.go).
 func (s *Server) resolve(req SimRequest) (*resolvedJob, error) {
-	if (req.Workload == "") == (req.TraceB64 == "") {
-		return nil, errors.New("exactly one of workload and trace_b64 must be set")
-	}
-	if req.WarmupUops == 0 {
-		req.WarmupUops = 30000
-	}
-	if req.MeasureUops == 0 {
-		req.MeasureUops = 60000
-	}
-	if req.Seeds < 1 {
-		req.Seeds = 1
-	}
-	cfg, err := req.Config.Build()
+	rj, err := resolveRequest(req)
 	if err != nil {
 		return nil, err
 	}
-	total := (req.WarmupUops + req.MeasureUops) * uint64(req.Seeds)
-	if total > s.opts.maxJobUops() {
+	if total := rj.job.TotalUops(); total > s.opts.maxJobUops() {
 		return nil, fmt.Errorf("job size %d uops exceeds the per-job limit of %d", total, s.opts.maxJobUops())
 	}
-
-	rj := &resolvedJob{req: req}
-	workloadKey := ""
-	if req.Workload != "" {
-		spec, ok := trace.ByName(req.Workload)
-		if !ok {
-			return nil, fmt.Errorf("unknown workload %q (GET /v1/workloads lists the suite)", req.Workload)
-		}
-		rj.job.Spec = spec
-		workloadKey = fmt.Sprintf("workload:%s:seed:%d", spec.Name, spec.Seed)
-	} else {
-		raw, err := base64.StdEncoding.DecodeString(req.TraceB64)
-		if err != nil {
-			return nil, fmt.Errorf("trace_b64 is not valid base64: %w", err)
-		}
-		if req.Seeds > 1 {
-			return nil, errors.New("seed replication requires a catalog workload, not an uploaded trace")
-		}
-		digest := sha256.Sum256(raw)
-		rj.traceRaw = raw
-		rj.job.Spec = trace.Spec{Name: "trace:" + hex.EncodeToString(digest[:8]), Category: "trace-file"}
-		workloadKey = "trace:" + hex.EncodeToString(digest[:])
-	}
-	rj.job.Config = cfg
-	rj.job.WarmupUops = req.WarmupUops
-	rj.job.MeasureUops = req.MeasureUops
-	rj.job.Seeds = req.Seeds
-	rj.job.ColdCaches = req.ColdCaches
-
-	// The cache key addresses the simulation's full input: the resolved
-	// configuration (digested field by field), the workload spec and base
-	// seed (or trace content digest), the windows, the replica count, and
-	// cache warming. Determinism makes identical keys identical results.
-	cfgJSON, err := json.Marshal(cfg)
-	if err != nil {
-		return nil, err
-	}
-	h := sha256.New()
-	fmt.Fprintf(h, "config:%s|%s|warmup:%d|measure:%d|seeds:%d|cold:%t",
-		cfgJSON, workloadKey, req.WarmupUops, req.MeasureUops, req.Seeds, req.ColdCaches)
-	rj.key = hex.EncodeToString(h.Sum(nil))
 	return rj, nil
 }
 
@@ -329,6 +280,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
+
+// Retry-After advice (in seconds) attached to backpressure responses. A
+// full queue clears as soon as a worker frees up, so clients should probe
+// again quickly; a draining server is going away, so clients should give
+// the replacement time to come up (or move to another endpoint at once).
+const (
+	retryAfterQueueFull = "1"
+	retryAfterDrain     = "30"
+)
 
 func writeJSONError(w http.ResponseWriter, code int, status, msg string) {
 	w.Header().Set("Content-Type", "application/json")
@@ -378,8 +338,10 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	if ok, draining := s.enqueue(j); !ok {
 		s.metrics.jobsRejected.Add(1)
 		if draining {
+			w.Header().Set("Retry-After", retryAfterDrain)
 			writeJSONError(w, http.StatusServiceUnavailable, "rejected", "server is draining")
 		} else {
+			w.Header().Set("Retry-After", retryAfterQueueFull)
 			writeJSONError(w, http.StatusTooManyRequests, "rejected", "job queue is full, retry later")
 		}
 		return
@@ -424,6 +386,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if draining {
 		status = "draining"
 		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterDrain)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)

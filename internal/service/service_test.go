@@ -258,6 +258,9 @@ func TestBackpressure429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Errorf("status = %d, want 429", resp.StatusCode)
 	}
+	if got := resp.Header.Get("Retry-After"); got != retryAfterQueueFull {
+		t.Errorf("429 Retry-After = %q, want %q", got, retryAfterQueueFull)
+	}
 	if got := svc.Metrics().jobsRejected.Load(); got != 1 {
 		t.Errorf("jobs rejected metric = %d, want 1", got)
 	}
@@ -387,6 +390,9 @@ func TestDrainRefusesNewJobs(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("POST while draining = %d, want 503", resp.StatusCode)
 	}
+	if got := resp.Header.Get("Retry-After"); got != retryAfterDrain {
+		t.Errorf("503 Retry-After = %q, want %q", got, retryAfterDrain)
+	}
 	hresp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -394,5 +400,8 @@ func TestDrainRefusesNewJobs(t *testing.T) {
 	defer hresp.Body.Close()
 	if hresp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("/healthz while draining = %d, want 503", hresp.StatusCode)
+	}
+	if got := hresp.Header.Get("Retry-After"); got != retryAfterDrain {
+		t.Errorf("/healthz draining Retry-After = %q, want %q", got, retryAfterDrain)
 	}
 }

@@ -1,0 +1,54 @@
+package sweep
+
+import (
+	"context"
+	"time"
+
+	"rfpsim/internal/runner"
+	"rfpsim/internal/service"
+)
+
+// Backend executes one sweep unit to completion. Implementations own
+// their transient-failure handling (the HTTP backend retries and fails
+// over internally); an error returned here is terminal for the unit.
+type Backend interface {
+	// Run executes the unit and returns its deterministic result.
+	Run(ctx context.Context, u Unit) (*service.SimResponse, error)
+	// Name labels the backend in metrics and progress output.
+	Name() string
+}
+
+// LocalBackend runs units in-process through internal/runner — the exact
+// code path a POST /v1/sim executes on a daemon, so a sweep run locally
+// and the same sweep run against a fleet produce identical CSVs.
+type LocalBackend struct {
+	// Metrics, when set, records per-unit latency under the "local"
+	// backend label.
+	Metrics *Metrics
+}
+
+// Name implements Backend.
+func (LocalBackend) Name() string { return "local" }
+
+// Run implements Backend.
+func (b LocalBackend) Run(ctx context.Context, u Unit) (*service.SimResponse, error) {
+	job, _, err := service.ResolveJob(u.Req)
+	if err != nil {
+		return nil, err
+	}
+	if u.Req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(u.Req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	start := time.Now()
+	st, err := runner.Run(ctx, job)
+	if b.Metrics != nil {
+		b.Metrics.observe(b.Name(), time.Since(start), err != nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp := service.Response(job, st)
+	return &resp, nil
+}

@@ -1,0 +1,131 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"rfpsim/internal/service"
+)
+
+// checkpointEntry is one journal line: a completed unit's content address
+// and its full deterministic result. The label rides along so a journal
+// is inspectable with standard JSONL tooling.
+type checkpointEntry struct {
+	Key   string               `json:"key"`
+	Label string               `json:"label"`
+	Resp  *service.SimResponse `json:"resp"`
+}
+
+// Journal is the append-only JSONL checkpoint. Each completed unit is
+// written as one line in a single write syscall, so a crash can corrupt
+// at most the final line — which LoadCheckpoint tolerates by design.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenJournal opens (creating if needed) the checkpoint for appending.
+// Records are whole lines written in one syscall, so a file that does not
+// end in '\n' carries a torn tail from a crash mid-append; it is truncated
+// back to the last complete line here, otherwise the next record would
+// concatenate onto the fragment and turn a tolerable torn tail into
+// interior corruption.
+func OpenJournal(path string) (*Journal, error) {
+	if data, err := os.ReadFile(path); err == nil && len(data) > 0 && data[len(data)-1] != '\n' {
+		keep := int64(bytes.LastIndexByte(data, '\n') + 1)
+		if err := os.Truncate(path, keep); err != nil {
+			return nil, fmt.Errorf("sweep: healing torn checkpoint tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: opening checkpoint: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// Record appends one completed unit. The line is marshalled fully before
+// the single Write call; partial lines can only come from a crash mid-
+// syscall, never from interleaved workers.
+func (j *Journal) Record(u Unit, resp *service.SimResponse) error {
+	line, err := json.Marshal(checkpointEntry{Key: u.Key, Label: u.Label, Resp: resp})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("sweep: writing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// CheckpointState is what a journal replays to.
+type CheckpointState struct {
+	// Results maps unit content address to the recorded response.
+	Results map[string]*service.SimResponse
+	// Entries counts valid journal lines (including duplicates).
+	Entries int
+	// Duplicates counts lines whose key was already recorded (a unit
+	// journalled twice, e.g. by a crash between write and ack on a
+	// previous resume); the first record wins — results are deterministic,
+	// so any duplicate body is identical anyway.
+	Duplicates int
+	// TruncatedTail is true when the final line was cut short (the crash
+	// case) and therefore ignored.
+	TruncatedTail bool
+}
+
+// LoadCheckpoint replays a journal. A missing file is an empty state. A
+// malformed or incomplete final line is tolerated (that is exactly what a
+// kill -9 mid-append leaves behind); malformed interior lines mean real
+// corruption and fail loudly.
+func LoadCheckpoint(path string) (*CheckpointState, error) {
+	st := &CheckpointState{Results: map[string]*service.SimResponse{}}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return st, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sweep: reading checkpoint: %w", err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	// A well-formed journal ends with '\n', so the final split element is
+	// empty; anything non-empty there is a torn tail candidate too.
+	last := len(lines) - 1
+	for last >= 0 && len(bytes.TrimSpace(lines[last])) == 0 {
+		last--
+	}
+	for i := 0; i <= last; i++ {
+		line := bytes.TrimSpace(lines[i])
+		if len(line) == 0 {
+			continue
+		}
+		var e checkpointEntry
+		if err := json.Unmarshal(line, &e); err != nil || e.Key == "" || e.Resp == nil {
+			if i == last {
+				st.TruncatedTail = true
+				continue
+			}
+			return nil, fmt.Errorf("sweep: checkpoint %s line %d is corrupt (not a truncated tail): %v", path, i+1, err)
+		}
+		st.Entries++
+		if _, dup := st.Results[e.Key]; dup {
+			st.Duplicates++
+			continue
+		}
+		st.Results[e.Key] = e.Resp
+	}
+	return st, nil
+}

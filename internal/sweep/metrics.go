@@ -1,0 +1,102 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates the orchestrator's observability counters in the
+// same Prometheus text style the rfpsimd daemon exposes: units by
+// outcome, retries, and per-backend request latency.
+type Metrics struct {
+	total   atomic.Uint64 // gauge: units in the sweep
+	done    atomic.Uint64 // counter: units completed this run
+	skipped atomic.Uint64 // counter: units satisfied by the checkpoint
+	failed  atomic.Uint64 // counter: units terminally failed
+	retried atomic.Uint64 // counter: extra backend attempts
+
+	mu       sync.Mutex
+	backends map[string]*backendStats
+}
+
+// backendStats is one backend/endpoint's request ledger.
+type backendStats struct {
+	requests     uint64
+	errors       uint64
+	latencyNanos uint64
+}
+
+// Done returns the number of units completed by this run so far.
+func (m *Metrics) Done() uint64 { return m.done.Load() }
+
+// Failed returns the number of terminally failed units so far.
+func (m *Metrics) Failed() uint64 { return m.failed.Load() }
+
+// Retried returns the number of extra backend attempts so far.
+func (m *Metrics) Retried() uint64 { return m.retried.Load() }
+
+// Skipped returns the number of units satisfied by the checkpoint.
+func (m *Metrics) Skipped() uint64 { return m.skipped.Load() }
+
+// observe records one backend request.
+func (m *Metrics) observe(backend string, d time.Duration, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.backends == nil {
+		m.backends = map[string]*backendStats{}
+	}
+	bs := m.backends[backend]
+	if bs == nil {
+		bs = &backendStats{}
+		m.backends[backend] = bs
+	}
+	bs.requests++
+	if failed {
+		bs.errors++
+	}
+	bs.latencyNanos += uint64(d)
+}
+
+// WritePrometheus renders the counters in the text exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	fmt.Fprintf(w, "# HELP rfpsweep_units_total Units in the expanded sweep grid.\n")
+	fmt.Fprintf(w, "# TYPE rfpsweep_units_total gauge\n")
+	fmt.Fprintf(w, "rfpsweep_units_total %d\n", m.total.Load())
+	fmt.Fprintf(w, "# HELP rfpsweep_units_done_total Units completed, by how.\n")
+	fmt.Fprintf(w, "# TYPE rfpsweep_units_done_total counter\n")
+	fmt.Fprintf(w, "rfpsweep_units_done_total{how=\"run\"} %d\n", m.done.Load())
+	fmt.Fprintf(w, "rfpsweep_units_done_total{how=\"checkpoint\"} %d\n", m.skipped.Load())
+	fmt.Fprintf(w, "# HELP rfpsweep_units_failed_total Units that exhausted their retries.\n")
+	fmt.Fprintf(w, "# TYPE rfpsweep_units_failed_total counter\n")
+	fmt.Fprintf(w, "rfpsweep_units_failed_total %d\n", m.failed.Load())
+	fmt.Fprintf(w, "# HELP rfpsweep_unit_retries_total Extra backend attempts beyond each unit's first.\n")
+	fmt.Fprintf(w, "# TYPE rfpsweep_unit_retries_total counter\n")
+	fmt.Fprintf(w, "rfpsweep_unit_retries_total %d\n", m.retried.Load())
+
+	m.mu.Lock()
+	names := make([]string, 0, len(m.backends))
+	for n := range m.backends {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "# HELP rfpsweep_backend_requests_total Requests per backend endpoint.\n")
+	fmt.Fprintf(w, "# TYPE rfpsweep_backend_requests_total counter\n")
+	for _, n := range names {
+		fmt.Fprintf(w, "rfpsweep_backend_requests_total{backend=%q} %d\n", n, m.backends[n].requests)
+	}
+	fmt.Fprintf(w, "# HELP rfpsweep_backend_errors_total Failed requests per backend endpoint.\n")
+	fmt.Fprintf(w, "# TYPE rfpsweep_backend_errors_total counter\n")
+	for _, n := range names {
+		fmt.Fprintf(w, "rfpsweep_backend_errors_total{backend=%q} %d\n", n, m.backends[n].errors)
+	}
+	fmt.Fprintf(w, "# HELP rfpsweep_backend_latency_seconds_sum Cumulative request latency per backend endpoint.\n")
+	fmt.Fprintf(w, "# TYPE rfpsweep_backend_latency_seconds_sum counter\n")
+	for _, n := range names {
+		fmt.Fprintf(w, "rfpsweep_backend_latency_seconds_sum{backend=%q} %g\n", n, float64(m.backends[n].latencyNanos)/1e9)
+	}
+	m.mu.Unlock()
+}

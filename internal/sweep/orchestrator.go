@@ -1,0 +1,242 @@
+package sweep
+
+import (
+	"context"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"rfpsim/internal/experiments"
+	"rfpsim/internal/service"
+)
+
+// Options configures one orchestrator run.
+type Options struct {
+	// Parallel bounds concurrent units in flight (0 = 4; against an HTTP
+	// fleet, size it to the fleet's aggregate worker count).
+	Parallel int
+	// CheckpointPath, when set, journals every completed unit and (with
+	// Resume) skips units already recorded.
+	CheckpointPath string
+	// Resume replays the checkpoint before running; without it an
+	// existing checkpoint is appended to but not consulted.
+	Resume bool
+	// Progress, when set, receives a one-line progress/ETA report every
+	// ProgressEvery (default 5s) and once at the end.
+	Progress      io.Writer
+	ProgressEvery time.Duration
+}
+
+func (o Options) parallel() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return 4
+}
+
+func (o Options) progressEvery() time.Duration {
+	if o.ProgressEvery > 0 {
+		return o.ProgressEvery
+	}
+	return 5 * time.Second
+}
+
+// UnitError is one terminally failed unit.
+type UnitError struct {
+	Unit Unit
+	Err  error
+}
+
+// Summary is the outcome of an orchestrator run.
+type Summary struct {
+	// Units is the sweep grid in deterministic order.
+	Units []Unit
+	// Results maps unit key to result for every completed unit (including
+	// checkpoint-replayed ones).
+	Results map[string]*service.SimResponse
+	// Skipped counts units satisfied by the checkpoint.
+	Skipped int
+	// Failed lists units that exhausted their retries.
+	Failed []UnitError
+}
+
+// Complete reports whether every unit has a result.
+func (s *Summary) Complete() bool { return len(s.Results) >= len(s.Units) }
+
+// Run executes the sweep: checkpoint replay, bounded-parallel dispatch to
+// the backend, journalling, and progress reporting. Cancelling ctx stops
+// dispatch and returns ctx's error; completed units are already journalled,
+// so a later Resume run picks up exactly the missing ones. Unit failures
+// do not abort the sweep — the rest of the grid still runs — but are
+// reported in the summary and as an error.
+func Run(ctx context.Context, units []Unit, backend Backend, opts Options, m *Metrics) (*Summary, error) {
+	if m == nil {
+		m = &Metrics{}
+	}
+	m.total.Store(uint64(len(units)))
+	sum := &Summary{Units: units, Results: make(map[string]*service.SimResponse, len(units))}
+
+	if opts.Resume && opts.CheckpointPath != "" {
+		st, err := LoadCheckpoint(opts.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range units {
+			if resp, ok := st.Results[u.Key]; ok {
+				sum.Results[u.Key] = resp
+				sum.Skipped++
+			}
+		}
+		m.skipped.Store(uint64(sum.Skipped))
+		if opts.Progress != nil && (sum.Skipped > 0 || st.TruncatedTail) {
+			fmt.Fprintf(opts.Progress, "rfpsweep: checkpoint replayed %d/%d units (%d journal entries, %d duplicates, truncated tail: %t)\n",
+				sum.Skipped, len(units), st.Entries, st.Duplicates, st.TruncatedTail)
+		}
+	}
+
+	var journal *Journal
+	if opts.CheckpointPath != "" {
+		var err error
+		journal, err = OpenJournal(opts.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		defer journal.Close()
+	}
+
+	pending := make([]Unit, 0, len(units))
+	for _, u := range units {
+		if _, done := sum.Results[u.Key]; !done {
+			pending = append(pending, u)
+		}
+	}
+
+	start := time.Now()
+	progress := func(final bool) {
+		done, failed := m.done.Load(), m.failed.Load()
+		finished := uint64(sum.Skipped) + done + failed
+		pct := 100 * float64(finished) / float64(max(len(units), 1))
+		eta := "?"
+		if done > 0 && !final {
+			remaining := uint64(len(units)) - finished
+			eta = (time.Duration(float64(time.Since(start)) / float64(done) * float64(remaining))).Round(time.Second).String()
+		}
+		if final {
+			eta = "done"
+		}
+		fmt.Fprintf(opts.Progress, "rfpsweep: %d/%d units (%.0f%%), %d skipped, %d failed, %d retries, elapsed %s, eta %s\n",
+			finished, len(units), pct, sum.Skipped, failed, m.retried.Load(), time.Since(start).Round(time.Second), eta)
+	}
+	stopProgress := make(chan struct{})
+	var progressWG sync.WaitGroup
+	if opts.Progress != nil {
+		progressWG.Add(1)
+		go func() {
+			defer progressWG.Done()
+			t := time.NewTicker(opts.progressEvery())
+			defer t.Stop()
+			for {
+				select {
+				case <-stopProgress:
+					return
+				case <-t.C:
+					progress(false)
+				}
+			}
+		}()
+	}
+
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		sem     = make(chan struct{}, opts.parallel())
+		loopErr error
+	)
+	for _, u := range pending {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(u Unit) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			defer func() { <-sem }()
+			resp, err := backend.Run(ctx, u)
+			if err != nil {
+				if ctx.Err() != nil {
+					return // cancelled, not failed: the unit stays pending
+				}
+				m.failed.Add(1)
+				mu.Lock()
+				sum.Failed = append(sum.Failed, UnitError{Unit: u, Err: err})
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			sum.Results[u.Key] = resp
+			var jerr error
+			if journal != nil {
+				jerr = journal.Record(u, resp)
+			}
+			if jerr != nil && loopErr == nil {
+				loopErr = jerr
+			}
+			mu.Unlock()
+			m.done.Add(1)
+		}(u)
+	}
+	wg.Wait()
+	close(stopProgress)
+	progressWG.Wait()
+	if opts.Progress != nil {
+		progress(true)
+	}
+
+	if loopErr != nil {
+		return sum, loopErr
+	}
+	if err := ctx.Err(); err != nil {
+		return sum, err
+	}
+	if n := len(sum.Failed); n > 0 {
+		return sum, fmt.Errorf("sweep: %d of %d units failed; first: %s: %w",
+			n, len(units), sum.Failed[0].Unit.Label, sum.Failed[0].Err)
+	}
+	return sum, nil
+}
+
+// WriteCSV renders completed units in deterministic grid order using the
+// schema cmd/experiments emits (experiment,metric,value): per unit an
+// ipc, a cycles and an instructions row. Two complete runs of the same
+// grid — whatever backend executed them, in whatever order, across
+// however many crash/resume cycles — produce byte-identical files.
+func (s *Summary) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(experiments.MetricsCSVHeader); err != nil {
+		return err
+	}
+	for _, u := range s.Units {
+		resp, ok := s.Results[u.Key]
+		if !ok {
+			continue
+		}
+		rows := [][]string{
+			{u.Label, "ipc", experiments.FormatMetric(resp.IPC)},
+			{u.Label, "cycles", experiments.FormatCount(resp.Cycles)},
+			{u.Label, "instructions", experiments.FormatCount(resp.Instructions)},
+		}
+		for _, row := range rows {
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,244 @@
+// Package sweep is the parameter-sweep orchestrator behind cmd/rfpsweep:
+// it expands a JSON sweep specification (axes over service.ConfigSpec
+// knobs crossed with workloads) into deterministic simulation units keyed
+// by the same content address the rfpsimd result cache uses, executes them
+// through a pluggable backend (in-process runner or a load-balanced fleet
+// of rfpsimd endpoints), journals every completed unit to an append-only
+// JSONL checkpoint so a crashed sweep resumes where it stopped, and
+// aggregates the results into the CSV schema cmd/experiments emits.
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"rfpsim/internal/service"
+	"rfpsim/internal/trace"
+)
+
+// Spec is the JSON sweep description.
+type Spec struct {
+	// Name labels the sweep; it prefixes every unit label (and therefore
+	// every CSV "experiment" cell).
+	Name string `json:"name"`
+	// Workloads lists catalog entries to sweep over. An entry may also be
+	// "all" (the whole catalog) or "category:<name>" (one Table 3
+	// category). Duplicates after expansion are rejected.
+	Workloads []string `json:"workloads"`
+	// Base is the configuration every grid point starts from; axes
+	// override individual knobs on top of it.
+	Base service.ConfigSpec `json:"base"`
+	// Axes span the grid: the cartesian product of all axis values is
+	// applied to Base. The first axis varies slowest.
+	Axes []Axis `json:"axes,omitempty"`
+	// WarmupUops/MeasureUops/Seeds/ColdCaches mirror the service request
+	// fields and apply to every unit (defaults 30000/60000/1/false).
+	WarmupUops  uint64 `json:"warmup_uops,omitempty"`
+	MeasureUops uint64 `json:"measure_uops,omitempty"`
+	Seeds       int    `json:"seeds,omitempty"`
+	ColdCaches  bool   `json:"cold_caches,omitempty"`
+	// TimeoutMS bounds each unit's wall time on the executing backend.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Axis is one swept knob: a service.ConfigSpec JSON field name and the
+// values it takes.
+type Axis struct {
+	Knob   string            `json:"knob"`
+	Values []json.RawMessage `json:"values"`
+}
+
+// Unit is one deterministic grid point: a fully resolved simulation
+// request plus the rfpsimd content address that identifies it in the
+// checkpoint journal, the daemon result cache and the aggregate CSV.
+type Unit struct {
+	// Label is the human-readable identity, "<sweep>/<workload>/<knobs>";
+	// it is the CSV "experiment" column.
+	Label string
+	// Req is the request any backend executes.
+	Req service.SimRequest
+	// Key is service.ContentAddress(Req).
+	Key string
+}
+
+// ParseSpec decodes and validates a sweep spec (unknown fields are
+// rejected so a typoed knob cannot silently sweep nothing).
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("sweep: bad spec: %w", err)
+	}
+	if s.Name == "" {
+		return nil, fmt.Errorf("sweep: spec needs a name")
+	}
+	if len(s.Workloads) == 0 {
+		return nil, fmt.Errorf("sweep: spec needs at least one workload")
+	}
+	return &s, nil
+}
+
+// workloads expands the workload selectors against the catalog.
+func (s *Spec) workloads() ([]trace.Spec, error) {
+	var specs []trace.Spec
+	seen := map[string]bool{}
+	add := func(sp trace.Spec) error {
+		if seen[sp.Name] {
+			return fmt.Errorf("sweep: workload %s selected twice", sp.Name)
+		}
+		seen[sp.Name] = true
+		specs = append(specs, sp)
+		return nil
+	}
+	for _, w := range s.Workloads {
+		switch {
+		case w == "all":
+			for _, sp := range trace.Catalog() {
+				if err := add(sp); err != nil {
+					return nil, err
+				}
+			}
+		case strings.HasPrefix(w, "category:"):
+			cat := trace.Category(strings.TrimPrefix(w, "category:"))
+			matched := trace.ByCategory(cat)
+			if len(matched) == 0 {
+				return nil, fmt.Errorf("sweep: category %q matches no workloads", cat)
+			}
+			for _, sp := range matched {
+				if err := add(sp); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			sp, ok := trace.ByName(w)
+			if !ok {
+				return nil, fmt.Errorf("sweep: unknown workload %q", w)
+			}
+			if err := add(sp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return specs, nil
+}
+
+// applyAxes overrides one knob per axis on top of the base config, going
+// through JSON so the knob names are exactly the wire-format field names
+// (and unknown knobs fail loudly instead of sweeping nothing).
+func applyAxes(base service.ConfigSpec, axes []Axis, choice []int) (service.ConfigSpec, error) {
+	raw, err := json.Marshal(base)
+	if err != nil {
+		return service.ConfigSpec{}, err
+	}
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		return service.ConfigSpec{}, err
+	}
+	for i, ax := range axes {
+		fields[ax.Knob] = ax.Values[choice[i]]
+	}
+	merged, err := json.Marshal(fields)
+	if err != nil {
+		return service.ConfigSpec{}, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(merged))
+	dec.DisallowUnknownFields()
+	var out service.ConfigSpec
+	if err := dec.Decode(&out); err != nil {
+		return service.ConfigSpec{}, fmt.Errorf("sweep: applying axes: %w", err)
+	}
+	return out, nil
+}
+
+// axisLabel renders one knob=value pair; string values drop their quotes.
+func axisLabel(ax Axis, v json.RawMessage) string {
+	var s string
+	if err := json.Unmarshal(v, &s); err == nil {
+		return ax.Knob + "=" + s
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, v); err != nil {
+		return ax.Knob + "=" + string(v)
+	}
+	return ax.Knob + "=" + buf.String()
+}
+
+// Expand enumerates the full grid in deterministic order: the cartesian
+// product of the axes (first axis slowest), workloads innermost. Every
+// unit's configuration is validated by building it, and every unit is
+// keyed by the daemon's content address; duplicate keys (two grid points
+// resolving to the same simulation) are rejected rather than silently
+// collapsed, since they would make "done units" ambiguous on resume.
+func (s *Spec) Expand() ([]Unit, error) {
+	specs, err := s.workloads()
+	if err != nil {
+		return nil, err
+	}
+	for i, ax := range s.Axes {
+		if ax.Knob == "" || len(ax.Values) == 0 {
+			return nil, fmt.Errorf("sweep: axis %d needs a knob and at least one value", i)
+		}
+	}
+
+	choice := make([]int, len(s.Axes))
+	var units []Unit
+	byKey := map[string]string{}
+	for {
+		cfg, err := applyAxes(s.Base, s.Axes, choice)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := cfg.Build(); err != nil {
+			return nil, fmt.Errorf("sweep: grid point %s: %w", pointLabel(s.Axes, choice), err)
+		}
+		for _, wl := range specs {
+			req := service.SimRequest{
+				Workload:    wl.Name,
+				Config:      cfg,
+				WarmupUops:  s.WarmupUops,
+				MeasureUops: s.MeasureUops,
+				Seeds:       s.Seeds,
+				ColdCaches:  s.ColdCaches,
+				TimeoutMS:   s.TimeoutMS,
+			}
+			key, err := service.ContentAddress(req)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %s/%s: %w", wl.Name, pointLabel(s.Axes, choice), err)
+			}
+			label := s.Name + "/" + wl.Name + "/" + pointLabel(s.Axes, choice)
+			if prev, dup := byKey[key]; dup {
+				return nil, fmt.Errorf("sweep: units %s and %s resolve to the same simulation (key %s)", prev, label, key[:12])
+			}
+			byKey[key] = label
+			units = append(units, Unit{Label: label, Req: req, Key: key})
+		}
+		// Odometer increment over the axes, last axis fastest.
+		i := len(s.Axes) - 1
+		for ; i >= 0; i-- {
+			choice[i]++
+			if choice[i] < len(s.Axes[i].Values) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return units, nil
+}
+
+// pointLabel renders one grid point's swept knobs ("base" when no axes).
+func pointLabel(axes []Axis, choice []int) string {
+	if len(axes) == 0 {
+		return "base"
+	}
+	parts := make([]string, len(axes))
+	for i, ax := range axes {
+		parts[i] = axisLabel(ax, ax.Values[choice[i]])
+	}
+	return strings.Join(parts, ",")
+}

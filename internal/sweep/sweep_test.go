@@ -1,0 +1,303 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rfpsim/internal/service"
+	"rfpsim/internal/trace"
+)
+
+// testSpecJSON is a 2-workload x (4 pt_entries x 3 confidence_bits) grid:
+// 24 units, the acceptance-test scale.
+const testSpecJSON = `{
+	"name": "ptsweep",
+	"workloads": ["spec06_mcf", "spec06_hmmer"],
+	"base": {"rfp": true},
+	"axes": [
+		{"knob": "pt_entries", "values": [128, 256, 512, 1024]},
+		{"knob": "confidence_bits", "values": [1, 2, 3]}
+	],
+	"warmup_uops": 2000,
+	"measure_uops": 4000
+}`
+
+func testUnits(t *testing.T) []Unit {
+	t.Helper()
+	spec, err := ParseSpec([]byte(testSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return units
+}
+
+func TestExpandGrid(t *testing.T) {
+	units := testUnits(t)
+	if len(units) != 24 {
+		t.Fatalf("expanded %d units, want 24", len(units))
+	}
+	// Deterministic order: first axis slowest, workloads innermost.
+	wantFirst := []string{
+		"ptsweep/spec06_mcf/pt_entries=128,confidence_bits=1",
+		"ptsweep/spec06_hmmer/pt_entries=128,confidence_bits=1",
+		"ptsweep/spec06_mcf/pt_entries=128,confidence_bits=2",
+	}
+	for i, want := range wantFirst {
+		if units[i].Label != want {
+			t.Errorf("unit %d label = %q, want %q", i, units[i].Label, want)
+		}
+	}
+	if last := units[23].Label; last != "ptsweep/spec06_hmmer/pt_entries=1024,confidence_bits=3" {
+		t.Errorf("final unit label = %q", last)
+	}
+	// Unit keys are exactly the daemon's content addresses.
+	seen := map[string]bool{}
+	for _, u := range units {
+		key, err := service.ContentAddress(u.Req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != u.Key {
+			t.Errorf("%s: unit key %s != content address %s", u.Label, u.Key, key)
+		}
+		if seen[key] {
+			t.Errorf("duplicate key %s", key)
+		}
+		seen[key] = true
+		if u.Req.Config.PTEntries == 0 || u.Req.Config.ConfidenceBits == 0 || !u.Req.Config.RFP {
+			t.Errorf("%s: axes not applied: %+v", u.Label, u.Req.Config)
+		}
+	}
+}
+
+func TestExpandRejectsBadSpecs(t *testing.T) {
+	cases := map[string]string{
+		"unknown spec field": `{"name":"x","workloads":["spec06_mcf"],"bogus":1}`,
+		"unknown knob":       `{"name":"x","workloads":["spec06_mcf"],"base":{"rfp":true},"axes":[{"knob":"pt_entriez","values":[128]}]}`,
+		"unknown workload":   `{"name":"x","workloads":["no_such"]}`,
+		"duplicate workload": `{"name":"x","workloads":["spec06_mcf","spec06_mcf"]}`,
+		"empty axis":         `{"name":"x","workloads":["spec06_mcf"],"axes":[{"knob":"pt_entries","values":[]}]}`,
+		"invalid config":     `{"name":"x","workloads":["spec06_mcf"],"axes":[{"knob":"pt_entries","values":[128]}]}`,
+		"missing name":       `{"workloads":["spec06_mcf"]}`,
+		"colliding points":   `{"name":"x","workloads":["spec06_mcf"],"base":{"rfp":true},"axes":[{"knob":"pt_entries","values":[1024,1024]}]}`,
+	}
+	for name, js := range cases {
+		spec, err := ParseSpec([]byte(js))
+		if err == nil {
+			_, err = spec.Expand()
+		}
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestExpandSelectors(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{"name":"s","workloads":["all"],"base":{"rfp":true},"warmup_uops":1000,"measure_uops":1000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) < 60 {
+		t.Errorf(`"all" expanded to %d units, want the full catalog`, len(units))
+	}
+	if units[0].Label != "s/"+units[0].Req.Workload+"/base" {
+		t.Errorf("axis-free label = %q, want .../base", units[0].Label)
+	}
+
+	spec2, err := ParseSpec([]byte(`{"name":"s","workloads":["category:Cloud"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud, err := spec2.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cloud) == 0 || len(cloud) >= len(units) {
+		t.Errorf("category:Cloud expanded to %d units, want a proper non-empty subset of %d", len(cloud), len(units))
+	}
+	for _, u := range cloud {
+		sp, ok := trace.ByName(u.Req.Workload)
+		if !ok || sp.Category != trace.Cloud {
+			t.Errorf("category:Cloud selected %s (category %s)", u.Req.Workload, sp.Category)
+		}
+	}
+}
+
+// flakyHandler returns 429 (with Retry-After) for the first reject sim
+// POSTs, then delegates to the real daemon handler.
+func flakyHandler(h http.Handler, reject int32) (http.Handler, *atomic.Int32) {
+	var n atomic.Int32
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/sim" && n.Add(1) <= reject {
+			w.Header().Set("Retry-After", "0")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintln(w, `{"error":"job queue is full, retry later","status":"rejected"}`)
+			return
+		}
+		h.ServeHTTP(w, r)
+	}), &n
+}
+
+// TestHTTPBackendRetriesAndFailsOver: a unit first hitting a 429ing
+// endpoint must land on the healthy one and succeed, counting a retry.
+func TestHTTPBackendRetriesAndFailsOver(t *testing.T) {
+	svcA := service.New(service.Options{Workers: 1})
+	defer svcA.Close()
+	always429 := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprintln(w, `{"error":"full","status":"rejected"}`)
+	})
+	tsA := httptest.NewServer(always429)
+	defer tsA.Close()
+	tsB := httptest.NewServer(svcA.Handler())
+	defer tsB.Close()
+
+	m := &Metrics{}
+	be, err := NewHTTPBackend([]string{tsA.URL, tsB.URL}, HTTPBackendOptions{
+		Metrics: m, BaseBackoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := testUnits(t)
+	resp, err := be.Run(context.Background(), units[0])
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if resp.Cycles == 0 {
+		t.Errorf("empty response: %+v", resp)
+	}
+
+	// The same unit locally must agree exactly.
+	local, err := (LocalBackend{}).Run(context.Background(), units[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Cycles != resp.Cycles || local.IPC != resp.IPC {
+		t.Errorf("http result (%d cycles, ipc %g) != local (%d cycles, ipc %g)",
+			resp.Cycles, resp.IPC, local.Cycles, local.IPC)
+	}
+}
+
+// TestHTTPBackendPermanentErrorsDoNotRetry: a 400 means the whole fleet
+// would reject the unit, so exactly one attempt is made.
+func TestHTTPBackendPermanentErrorsDoNotRetry(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprintln(w, `{"error":"bad","status":"invalid"}`)
+	}))
+	defer ts.Close()
+	be, err := NewHTTPBackend([]string{ts.URL}, HTTPBackendOptions{BaseBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.Run(context.Background(), testUnits(t)[0]); err == nil {
+		t.Fatal("expected an error for a 400 response")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("400 retried: %d attempts, want 1", got)
+	}
+}
+
+// TestHTTPBackendBoundedRetries: a persistently failing fleet gives up
+// after MaxAttempts rather than spinning forever.
+func TestHTTPBackendBoundedRetries(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintln(w, `{"error":"boom","status":"error"}`)
+	}))
+	defer ts.Close()
+	m := &Metrics{}
+	be, err := NewHTTPBackend([]string{ts.URL}, HTTPBackendOptions{
+		MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond, Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = be.Run(context.Background(), testUnits(t)[0])
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("err = %v, want bounded-attempts failure", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("made %d attempts, want 3", got)
+	}
+	if got := m.Retried(); got != 2 {
+		t.Errorf("retried metric = %d, want 2", got)
+	}
+}
+
+// TestMetricsExposition smoke-tests the Prometheus rendering.
+func TestMetricsExposition(t *testing.T) {
+	m := &Metrics{}
+	m.total.Store(4)
+	m.done.Add(2)
+	m.failed.Add(1)
+	m.observe("local", 3*time.Millisecond, false)
+	var b strings.Builder
+	m.WritePrometheus(&b)
+	for _, want := range []string{
+		"rfpsweep_units_total 4",
+		`rfpsweep_units_done_total{how="run"} 2`,
+		"rfpsweep_units_failed_total 1",
+		`rfpsweep_backend_requests_total{backend="local"} 1`,
+		`rfpsweep_backend_latency_seconds_sum{backend="local"} 0.003`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("metrics missing %q in:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestSpecRoundTripsThroughJSON: the spec type itself marshals cleanly
+// (what -dry-run users see is what Expand runs).
+func TestSpecRoundTripsThroughJSON(t *testing.T) {
+	spec, err := ParseSpec([]byte(testSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := ParseSpec(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := spec2.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u1) != len(u2) {
+		t.Fatalf("round-tripped spec expands differently: %d vs %d units", len(u1), len(u2))
+	}
+	for i := range u1 {
+		if u1[i].Key != u2[i].Key {
+			t.Errorf("unit %d key differs after round trip", i)
+		}
+	}
+}
