@@ -1,0 +1,170 @@
+// Command benchjson runs the repository's bench_test.go benchmarks and
+// writes the results as machine-readable JSON, so performance numbers can
+// be archived per date and diffed across commits instead of living in
+// scrollback.
+//
+// Usage:
+//
+//	benchjson [-bench regexp] [-benchtime 1x] [-out BENCH_<date>.json]
+//
+// The default output name embeds today's date (BENCH_2006-01-02.json).
+// The file records the toolchain, host shape and every benchmark's full
+// metric set — the standard ns/op, B/op and allocs/op plus the custom
+// experiment metrics (speedup_pct, coverage_pct, ...) bench_test.go
+// reports.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's parsed output line.
+type Result struct {
+	// Name is the benchmark name with the -<procs> suffix stripped.
+	Name string `json:"name"`
+	// Iterations is the b.N the reported averages were taken over.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every "value unit" pair on the line
+	// (ns/op, B/op, allocs/op and custom units alike).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the file schema.
+type Report struct {
+	// Date is the run date (YYYY-MM-DD).
+	Date string `json:"date"`
+	// GoVersion, GOOS, GOARCH and CPUs describe the machine the numbers
+	// came from; comparing files across different hosts compares hosts.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	// Bench and Benchtime echo the selection the run used.
+	Bench     string `json:"bench"`
+	Benchtime string `json:"benchtime"`
+	// Benchmarks lists every parsed result in output order.
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", ".", "benchmark selection regexp (go test -bench)")
+		benchtime = flag.String("benchtime", "1x", "per-benchmark budget (go test -benchtime)")
+		out       = flag.String("out", "", "output path (default BENCH_<date>.json)")
+	)
+	flag.Parse()
+
+	date := time.Now().Format("2006-01-02")
+	path := *out
+	if path == "" {
+		path = "BENCH_" + date + ".json"
+	}
+
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
+		"-benchtime", *benchtime, "-benchmem", ".")
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test -bench failed: %v\n%s", err, outBytes)
+		os.Exit(1)
+	}
+
+	results, err := ParseBenchOutput(string(outBytes))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks matched -bench %q\n", *bench)
+		os.Exit(1)
+	}
+
+	rep := Report{
+		Date:       date,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Bench:      *bench,
+		Benchtime:  *benchtime,
+		Benchmarks: results,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d benchmark results to %s\n", len(results), path)
+}
+
+// ParseBenchOutput extracts benchmark result lines from `go test -bench`
+// output. A result line is
+//
+//	BenchmarkName-8    100    12345 ns/op    67 B/op    8 allocs/op ...
+//
+// a benchmark identifier, an iteration count, then one or more
+// "value unit" metric pairs. Lines that do not match (the goos/pkg
+// header, PASS, ok) are skipped; a line that starts like a benchmark but
+// fails to parse is an error rather than silently dropped data.
+func ParseBenchOutput(out string) ([]Result, error) {
+	var results []Result
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %w", line, err)
+		}
+		if (len(fields)-2)%2 != 0 {
+			return nil, fmt.Errorf("odd value/unit pairing in %q", line)
+		}
+		r := Result{
+			Name:       trimProcs(fields[0]),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value in %q: %w", line, err)
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// trimProcs strips the trailing -<GOMAXPROCS> go test appends to
+// benchmark names, so files from machines with different core counts
+// diff cleanly.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

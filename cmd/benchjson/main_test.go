@@ -1,0 +1,63 @@
+package main
+
+import "testing"
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: rfpsim
+cpu: Some CPU @ 2.00GHz
+BenchmarkSimulatorThroughput-16         	      37	  31415926 ns/op	   12.34 muops_per_sec	 1024 B/op	       3 allocs/op
+BenchmarkFig2Speedup-16                 	       1	1234567890 ns/op	    3.10 speedup_pct	  512 B/op	       2 allocs/op
+PASS
+ok  	rfpsim	12.345s
+`
+	results, err := ParseBenchOutput(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	first := results[0]
+	if first.Name != "BenchmarkSimulatorThroughput" {
+		t.Errorf("name = %q (procs suffix not stripped?)", first.Name)
+	}
+	if first.Iterations != 37 {
+		t.Errorf("iterations = %d, want 37", first.Iterations)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 31415926, "muops_per_sec": 12.34, "B/op": 1024, "allocs/op": 3,
+	} {
+		if got := first.Metrics[unit]; got != want {
+			t.Errorf("metric %s = %g, want %g", unit, got, want)
+		}
+	}
+	if got := results[1].Metrics["speedup_pct"]; got != 3.10 {
+		t.Errorf("custom metric speedup_pct = %g, want 3.10", got)
+	}
+}
+
+func TestParseBenchOutputRejectsMalformed(t *testing.T) {
+	if _, err := ParseBenchOutput("BenchmarkX-8 notanumber 5 ns/op\n"); err == nil {
+		t.Error("bad iteration count accepted")
+	}
+	if _, err := ParseBenchOutput("BenchmarkX-8 10 5 ns/op trailing\n"); err == nil {
+		t.Error("odd value/unit pairing accepted")
+	}
+	if _, err := ParseBenchOutput("BenchmarkX-8 10 abc ns/op\n"); err == nil {
+		t.Error("bad metric value accepted")
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-16":  "BenchmarkFoo",
+		"BenchmarkFoo":     "BenchmarkFoo",
+		"BenchmarkFoo-bar": "BenchmarkFoo-bar",
+	} {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Command rfpsample profiles a workload's measured window and prints its
+// SimPoint replay plan: the representative intervals sampled simulation
+// would cycle-simulate, their cluster weights and the clustering-dispersion
+// error bound (see docs/sampling.md).
+//
+// Usage:
+//
+//	rfpsample -workload spec06_mcf [-warmup N] [-measure N]
+//	          [-interval N] [-maxk K] [-json]
+//	rfpsample -workload spec06_mcf -verify [-tol 0.02] [-rfp]
+//
+// With -verify it runs the workload twice — full window and sampled — and
+// compares the IPC estimates; an error above -tol exits nonzero. CI uses
+// this as the sampled-vs-full smoke check.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"rfpsim/internal/config"
+	"rfpsim/internal/runner"
+	"rfpsim/internal/sample"
+	"rfpsim/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "catalog workload to profile")
+		warmup   = flag.Uint64("warmup", 30000, "uops skipped before the measured window")
+		measure  = flag.Uint64("measure", 60000, "measured window length in uops")
+		interval = flag.Uint64("interval", 0, "interval length in uops (0 = default 2000)")
+		maxK     = flag.Int("maxk", 0, "max representative intervals (0 = default 5)")
+		asJSON   = flag.Bool("json", false, "print the plan as JSON instead of the table")
+		verify   = flag.Bool("verify", false, "run full and sampled simulations and compare IPC")
+		tol      = flag.Float64("tol", 0.02, "max relative IPC error -verify tolerates")
+		useRFP   = flag.Bool("rfp", false, "verify with Register File Prefetching enabled")
+	)
+	flag.Parse()
+
+	if *workload == "" {
+		fmt.Fprintln(os.Stderr, "rfpsample: -workload is required (rfpsim -listworkloads lists the suite)")
+		os.Exit(2)
+	}
+	spec, ok := trace.ByName(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rfpsample: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *verify {
+		os.Exit(runVerify(ctx, spec, *warmup, *measure, *interval, *maxK, *tol, *useRFP))
+	}
+
+	sp := sample.Normalized(runner.Sampling{IntervalUops: *interval, MaxK: *maxK})
+	profile, err := sample.ProfileSpec(ctx, spec, *warmup, *measure, sp.IntervalUops)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfpsample:", err)
+		os.Exit(1)
+	}
+	plan, err := sample.BuildPlan(profile, sp.MaxK, spec.Seed^sample.PlanSeedSalt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfpsample:", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(plan); err != nil {
+			fmt.Fprintln(os.Stderr, "rfpsample:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(plan)
+}
+
+// runVerify compares full-window and sampled IPC under the given windows
+// and returns the process exit code.
+func runVerify(ctx context.Context, spec trace.Spec, warmup, measure, interval uint64, maxK int, tol float64, useRFP bool) int {
+	cfg := config.Baseline()
+	if useRFP {
+		cfg = cfg.WithRFP()
+	}
+	job := runner.Job{
+		Config:      cfg,
+		Spec:        spec,
+		WarmupUops:  warmup,
+		MeasureUops: measure,
+		Seeds:       1,
+	}
+	full, err := runner.Run(ctx, job)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfpsample: full run:", err)
+		return 1
+	}
+	sampled := job
+	sampled.Sampling = &runner.Sampling{IntervalUops: interval, MaxK: maxK}
+	res, err := sample.RunResult(ctx, sampled)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfpsample: sampled run:", err)
+		return 1
+	}
+	relErr := res.Stats.IPC()/full.IPC() - 1
+	fmt.Printf("%s (%s): full IPC %.4f, sampled IPC %.4f, error %+.2f%% "+
+		"(%d of %d intervals simulated, %d of %d measured uops, bound %.3f)\n",
+		spec.Name, cfg.Name, full.IPC(), res.Stats.IPC(), 100*relErr,
+		len(res.Plan.Points), res.Plan.Intervals,
+		res.Plan.MeasuredUops(), job.MeasureUops, res.Plan.ErrorBound)
+	if math.Abs(relErr) > tol {
+		fmt.Fprintf(os.Stderr, "rfpsample: sampled IPC error %+.2f%% exceeds tolerance ±%.2f%%\n",
+			100*relErr, 100*tol)
+		return 1
+	}
+	return 0
+}

@@ -6,6 +6,7 @@
 //
 //	rfpsim -workload spec06_mcf [-rfp] [-vp eves|dlvp|composite|epp]
 //	       [-oracle l1|l2|llc|mem] [-2x] [-warmup N] [-measure N] [-seed S]
+//	       [-sample] [-sample-interval N] [-sample-maxk K] [-sample-warmup N]
 //	rfpsim -listworkloads
 package main
 
@@ -20,6 +21,7 @@ import (
 	"rfpsim/internal/config"
 	"rfpsim/internal/core"
 	"rfpsim/internal/runner"
+	"rfpsim/internal/sample"
 	"rfpsim/internal/stats"
 	"rfpsim/internal/trace"
 	"rfpsim/internal/tracefile"
@@ -43,6 +45,11 @@ func main() {
 		ptEntries = flag.Int("ptentries", 1024, "RFP Prefetch Table entries")
 		pipeTrace = flag.Uint64("pipetrace", 0, "stream N cycles of pipeline events to stderr (after warmup)")
 		profile   = flag.Bool("profile", false, "print per-PC load profile (top 15) after the run")
+
+		doSample  = flag.Bool("sample", false, "SimPoint-style sampled simulation (see docs/sampling.md)")
+		sInterval = flag.Uint64("sample-interval", 0, "sampling interval length in uops (0 = default 2000)")
+		sMaxK     = flag.Int("sample-maxk", 0, "max representative intervals (0 = default 5)")
+		sWarmup   = flag.Uint64("sample-warmup", 0, "per-representative cycle warmup uops (0 = one interval)")
 	)
 	flag.Parse()
 
@@ -104,7 +111,15 @@ func main() {
 		Config:      cfg,
 		WarmupUops:  *warmup,
 		MeasureUops: *measure,
+		Seeds:       1,
 		ColdCaches:  *noWarmC,
+	}
+	if *doSample {
+		job.Sampling = &runner.Sampling{
+			IntervalUops: *sInterval,
+			MaxK:         *sMaxK,
+			WarmupUops:   *sWarmup,
+		}
 	}
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
@@ -142,12 +157,16 @@ func main() {
 		}
 	}
 
-	st, err := runner.Run(ctx, job)
+	res, err := sample.RunResult(ctx, job)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
 		os.Exit(1)
 	}
-	printStats(cfg.Name, job.Spec, st)
+	if res.Plan != nil {
+		fmt.Print(res.Plan)
+		fmt.Println()
+	}
+	printStats(cfg.Name, job.Spec, res.Stats)
 	if *profile {
 		fmt.Println("\nper-PC load profile (top 15):")
 		fmt.Println(observed.Profile())

@@ -144,5 +144,6 @@ func run(ctx context.Context, cfg config.Core, spec trace.Spec, warmup, measure 
 		Spec:        spec,
 		WarmupUops:  warmup,
 		MeasureUops: measure,
+		Seeds:       1,
 	})
 }

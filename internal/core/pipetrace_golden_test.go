@@ -1,0 +1,122 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rfpsim/internal/config"
+	"rfpsim/internal/isa"
+	"rfpsim/internal/trace"
+)
+
+// goldenGen is the fixed workload behind the pipeTrace golden: a
+// load/alu/store/branch loop with strided addresses, fully deterministic.
+func goldenGen() *loopGen {
+	return &loopGen{
+		name: "golden",
+		body: []isa.MicroOp{
+			ld(0x100, 1, isa.NoReg, 0x8000),
+			alu(0x104, 2, 1, isa.NoReg),
+			st8(0x108, 2, isa.NoReg, 0x9000),
+			br(0x10c, true),
+		},
+		strides: []int64{64, 0, 64, 0},
+	}
+}
+
+// pipeTraceGolden is the exact event stream the golden workload emits for
+// cycles [1000, 1008) under Baseline+RFP. It pins the line format every
+// downstream trace consumer (grep-based debugging, docs examples) relies
+// on: "cycle <n> <event><pad> seq=... pc=0x... <kind> ...". The golden is
+// intentionally brittle — a timing-model change that reschedules these
+// uops must update it deliberately, with the diff reviewed, not silently.
+const pipeTraceGolden = `cycle 1000 commit    seq=471 pc=0x100 load addr=0x9b40
+cycle 1000 issue     seq=472 pc=0x104 alu done=1001
+cycle 1000 dispatch  seq=642 pc=0x10c branch taken=true
+cycle 1001 commit    seq=472 pc=0x104 alu
+cycle 1001 issue     seq=473 pc=0x108 store addr=0xab40 done=1002
+cycle 1001 dispatch  seq=643 pc=0x100 load addr=0xa600
+cycle 1001 dispatch  seq=644 pc=0x104 alu
+cycle 1002 commit    seq=473 pc=0x108 store addr=0xab40
+cycle 1002 commit    seq=474 pc=0x10c branch taken=true
+cycle 1003 issue     seq=642 pc=0x10c branch taken=true done=1004
+cycle 1003 dispatch  seq=645 pc=0x108 store addr=0xb600
+cycle 1006 commit    seq=475 pc=0x100 load addr=0x9b80
+cycle 1006 issue     seq=476 pc=0x104 alu done=1007
+cycle 1006 dispatch  seq=646 pc=0x10c branch taken=true
+cycle 1007 commit    seq=476 pc=0x104 alu
+cycle 1007 issue     seq=477 pc=0x108 store addr=0xab80 done=1008
+cycle 1007 dispatch  seq=647 pc=0x100 load addr=0xa640
+cycle 1007 dispatch  seq=648 pc=0x104 alu
+`
+
+// TestPipeTraceGolden replays the golden workload and compares the traced
+// window byte for byte.
+func TestPipeTraceGolden(t *testing.T) {
+	c := New(config.Baseline().WithRFP(), goldenGen())
+	var buf bytes.Buffer
+	c.AttachPipeTrace(&buf, 1000, 1008)
+	if _, err := c.Run(context.Background(), 2000); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != pipeTraceGolden {
+		t.Errorf("pipeTrace output drifted from golden.\ngot:\n%s\nwant:\n%s", got, pipeTraceGolden)
+	}
+}
+
+// traceLineRE is the grammar of every pipeTrace line: a cycle stamp, an
+// event name left-padded to a fixed-width column, then the uop identity
+// (seq + pc + kind-specific fields) or, for rfp-exec/rfp-hit, the
+// prefetch fields.
+var traceLineRE = regexp.MustCompile(
+	`^cycle (\d+) (dispatch|issue|commit|flush|rfp-exec|rfp-hit) {2,}(seq=\d+ )?(pc=0x[0-9a-f]+ )?\S.*$`)
+
+// TestPipeTraceLineGrammarAndWindow runs a real catalog workload with RFP
+// and checks that (a) every emitted line matches the pinned grammar and
+// (b) every cycle stamp lies inside the attached [from, to) window —
+// from is inclusive, to is exclusive.
+func TestPipeTraceLineGrammarAndWindow(t *testing.T) {
+	spec, ok := trace.ByName("spec06_hmmer")
+	if !ok {
+		t.Fatal("spec06_hmmer missing from catalog")
+	}
+	c := New(config.Baseline().WithRFP(), spec.New())
+	c.WarmCaches()
+	if err := c.Warmup(context.Background(), 10000); err != nil {
+		t.Fatal(err)
+	}
+	from, to := c.Cycle()+100, c.Cycle()+600
+	var buf bytes.Buffer
+	c.AttachPipeTrace(&buf, from, to)
+	if _, err := c.Run(context.Background(), 5000); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no trace lines emitted")
+	}
+	seen := map[string]bool{}
+	for _, line := range lines {
+		m := traceLineRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("trace line does not match the pinned grammar: %q", line)
+		}
+		cyc, err := strconv.ParseUint(m[1], 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable cycle in %q", line)
+		}
+		if cyc < from || cyc >= to {
+			t.Fatalf("event at cycle %d outside window [%d, %d): %q", cyc, from, to, line)
+		}
+		seen[m[2]] = true
+	}
+	for _, ev := range []string{"dispatch", "issue", "commit"} {
+		if !seen[ev] {
+			t.Errorf("no %s events in a %d-cycle window", ev, to-from)
+		}
+	}
+}

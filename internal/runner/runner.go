@@ -35,18 +35,56 @@ type Job struct {
 	// trace-file path). Generator state is consumed by a run, so Gen
 	// requires Seeds <= 1.
 	Gen isa.Generator
+	// FastForwardUops functionally consumes this many uops before the
+	// cycle-accurate warmup, training long-lived predictors and warming
+	// caches without simulating timing (core.FastForward). Sampled replay
+	// (internal/sample) uses it to reach an interval deep in the stream
+	// with full-run-equivalent predictor state at a fraction of the cost.
+	FastForwardUops uint64
 	// WarmupUops runs (and discards) this many uops before measuring.
 	WarmupUops uint64
-	// MeasureUops is the measured window length.
+	// MeasureUops is the measured window length. Run rejects 0: a job
+	// that measures nothing is a caller bug, not an empty result.
 	MeasureUops uint64
-	// Seeds > 1 replicates the job with perturbed generator seeds and sums
-	// the counters (ratios over the sums are replica-weighted averages).
+	// Seeds is the replica count and must be explicit (>= 1). Seeds > 1
+	// replicates the job with perturbed generator seeds and sums the
+	// counters (ratios over the sums are replica-weighted averages). Run
+	// rejects 0 so a forgotten field fails loudly instead of silently
+	// meaning "one replica".
 	Seeds int
 	// ColdCaches skips footprint-based cache warming.
 	ColdCaches bool
+	// Sampling, when set, asks for SimPoint-style sampled simulation:
+	// only representative intervals of the measured window are
+	// cycle-simulated and the statistics are cluster-weight scaled.
+	// Run itself rejects a sampled job — execute it with
+	// internal/sample.Run, which profiles, clusters and replays through
+	// this runner. The spec lives here (not in internal/sample) so Job
+	// stays the single wire-independent job description.
+	Sampling *Sampling
 	// AfterWarmup, when set, observes each replica's core between warmup
-	// and the measured run (pipe traces, per-PC profiles).
+	// and the measured run (pipe traces, per-PC profiles). Under
+	// sampling it fires once per replayed interval.
 	AfterWarmup func(*core.Core)
+}
+
+// Sampling configures sampled simulation of a job's measured window. The
+// zero value of each field selects the documented default; internal/sample
+// owns the defaulting and the execution.
+type Sampling struct {
+	// IntervalUops is the profiling/replay interval length (default 2000).
+	// The measured window is split into MeasureUops/IntervalUops
+	// intervals; a trailing remainder shorter than one interval is not
+	// sampled.
+	IntervalUops uint64
+	// MaxK bounds the number of representative intervals (default 5).
+	// Fewer are simulated when the clusterer needs fewer, or when the
+	// window has fewer intervals than MaxK.
+	MaxK int
+	// WarmupUops is the per-representative cycle-accurate warmup run
+	// before each measured interval, on top of footprint cache warming
+	// (default: one interval).
+	WarmupUops uint64
 }
 
 func (j Job) seeds() int {
@@ -72,6 +110,15 @@ func Run(ctx context.Context, job Job) (*stats.Sim, error) {
 	if err := job.Config.Validate(); err != nil {
 		return nil, fmt.Errorf("runner: invalid config: %w", err)
 	}
+	if job.MeasureUops == 0 {
+		return nil, errors.New("runner: MeasureUops is 0 — the job would simulate nothing; set the measured window explicitly")
+	}
+	if job.Seeds < 1 {
+		return nil, fmt.Errorf("runner: Seeds is %d — the replica count must be explicit; set Seeds: 1 for a single replica", job.Seeds)
+	}
+	if job.Sampling != nil {
+		return nil, errors.New("runner: job requests sampled simulation; execute it with internal/sample.Run (runner.Run is the full-window path)")
+	}
 	if job.Gen != nil && job.seeds() > 1 {
 		return nil, errors.New("runner: a generator override supports a single seed only")
 	}
@@ -86,6 +133,9 @@ func Run(ctx context.Context, job Job) (*stats.Sim, error) {
 		c := core.New(job.Config, gen)
 		if !job.ColdCaches {
 			c.WarmCaches()
+		}
+		if err := c.FastForward(ctx, job.FastForwardUops); err != nil {
+			return nil, fmt.Errorf("runner: %s seed %d fast-forward: %w", job.Spec.Name, s, err)
 		}
 		if err := c.Warmup(ctx, job.WarmupUops); err != nil {
 			return nil, fmt.Errorf("runner: %s seed %d warmup: %w", job.Spec.Name, s, err)

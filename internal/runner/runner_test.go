@@ -3,6 +3,7 @@ package runner
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -28,6 +29,7 @@ func TestRunIsDeterministic(t *testing.T) {
 		Spec:        mcf(t),
 		WarmupUops:  5000,
 		MeasureUops: 10000,
+		Seeds:       1,
 	}
 	a, err := Run(context.Background(), job)
 	if err != nil {
@@ -50,6 +52,7 @@ func TestSeedReplicasAccumulate(t *testing.T) {
 		Spec:        mcf(t),
 		WarmupUops:  5000,
 		MeasureUops: 10000,
+		Seeds:       1,
 	}
 	one, err := Run(context.Background(), base)
 	if err != nil {
@@ -106,6 +109,7 @@ func TestDeadlineCancelsMidRun(t *testing.T) {
 		Spec:        mcf(t),
 		WarmupUops:  5000,
 		MeasureUops: 40_000_000,
+		Seeds:       1,
 	})
 	if st != nil || !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("got (%v, %v), want (nil, wrapped DeadlineExceeded)", st, err)
@@ -141,9 +145,56 @@ func TestInvalidConfigErrorsInsteadOfPanicking(t *testing.T) {
 		Config:      cfg,
 		Spec:        mcf(t),
 		MeasureUops: 100,
+		Seeds:       1,
 	})
 	if err == nil {
 		t.Error("invalid config accepted, want error")
+	}
+}
+
+// TestRejectsEmptyWindowAndImplicitSeeds: a job that would silently
+// simulate nothing (MeasureUops 0) or silently default its replica count
+// (Seeds 0) is a caller bug and must fail loudly with a field-naming
+// error, not return an empty or single-seed result.
+func TestRejectsEmptyWindowAndImplicitSeeds(t *testing.T) {
+	good := Job{
+		Config:      config.Baseline(),
+		Spec:        mcf(t),
+		WarmupUops:  100,
+		MeasureUops: 100,
+		Seeds:       1,
+	}
+
+	noMeasure := good
+	noMeasure.MeasureUops = 0
+	if st, err := Run(context.Background(), noMeasure); err == nil || !strings.Contains(err.Error(), "MeasureUops") {
+		t.Errorf("MeasureUops=0: got (%v, %v), want error naming MeasureUops", st, err)
+	}
+
+	for _, seeds := range []int{0, -2} {
+		bad := good
+		bad.Seeds = seeds
+		if st, err := Run(context.Background(), bad); err == nil || !strings.Contains(err.Error(), "Seeds") {
+			t.Errorf("Seeds=%d: got (%v, %v), want error naming Seeds", seeds, st, err)
+		}
+	}
+}
+
+// TestRejectsSampledJob: runner.Run is the full-window path; a job
+// carrying a Sampling spec must be routed through internal/sample.Run,
+// and silently ignoring the spec would return full-run statistics under a
+// sampled content address.
+func TestRejectsSampledJob(t *testing.T) {
+	job := Job{
+		Config:      config.Baseline(),
+		Spec:        mcf(t),
+		WarmupUops:  100,
+		MeasureUops: 100,
+		Seeds:       1,
+		Sampling:    &Sampling{IntervalUops: 50},
+	}
+	if st, err := Run(context.Background(), job); err == nil || !strings.Contains(err.Error(), "sample") {
+		t.Errorf("sampled job: got (%v, %v), want error pointing at internal/sample", st, err)
 	}
 }
 
@@ -158,7 +209,7 @@ func TestTotalUops(t *testing.T) {
 	if got := j.TotalUops(); got != 270000 {
 		t.Errorf("3-seed TotalUops = %d, want 270000", got)
 	}
-	j.Seeds = -1 // normalized to one replica, like Run does
+	j.Seeds = -1 // TotalUops stays defined (one replica) even though Run rejects it
 	if got := j.TotalUops(); got != 90000 {
 		t.Errorf("negative-seed TotalUops = %d, want 90000", got)
 	}

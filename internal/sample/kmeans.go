@@ -1,0 +1,184 @@
+package sample
+
+import (
+	"math"
+
+	"rfpsim/internal/prng"
+)
+
+// maxKMeansIters bounds Lloyd refinement; interval counts are small
+// (tens to hundreds), so convergence is nearly always much earlier.
+const maxKMeansIters = 64
+
+// Clusters is a k-means partition of the profile's interval vectors.
+type Clusters struct {
+	// K is the cluster count actually used (<= the requested k when
+	// duplicate seed points collapse).
+	K int
+	// Assign maps each interval index to its cluster.
+	Assign []int
+	// Size is the member count per cluster.
+	Size []int
+	// AvgDist is the mean member-to-centroid distance per cluster — the
+	// dispersion that feeds the reported error bound.
+	AvgDist []float64
+	// Representative is, per cluster, the member interval closest to the
+	// centroid (ties break to the earliest interval).
+	Representative []int
+}
+
+// kMeans clusters vecs into at most k groups with k-means++ seeding and
+// Lloyd refinement, fully deterministic for a given seed: prng-driven
+// seeding, fixed iteration order and index-based tie-breaking. It panics
+// on empty input (callers validate) and never returns empty clusters —
+// an emptied cluster is reseeded with the point farthest from its
+// centroid's replacement assignment.
+func kMeans(vecs [][vectorDims]float64, k int, seed uint64) *Clusters {
+	n := len(vecs)
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	rng := prng.New(seed)
+
+	// k-means++ seeding: first centroid uniform, then proportional to
+	// squared distance from the nearest chosen centroid.
+	centroids := make([][vectorDims]float64, 0, k)
+	centroids = append(centroids, vecs[rng.Intn(n)])
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		var total float64
+		for i := range vecs {
+			d2[i] = dist2(vecs[i], centroids[0])
+			for _, c := range centroids[1:] {
+				if d := dist2(vecs[i], c); d < d2[i] {
+					d2[i] = d
+				}
+			}
+			total += d2[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with a centroid; fewer
+			// clusters describe the data exactly.
+			break
+		}
+		target := rng.Float64() * total
+		pick := n - 1
+		var cum float64
+		for i, d := range d2 {
+			cum += d
+			if cum >= target {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, vecs[pick])
+	}
+	k = len(centroids)
+
+	assign := make([]int, n)
+	size := make([]int, k)
+	for iter := 0; iter < maxKMeansIters; iter++ {
+		changed := false
+		for i := range size {
+			size[i] = 0
+		}
+		for i, v := range vecs {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := dist2(v, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			size[best]++
+		}
+		// Reseed any emptied cluster with the point farthest from its
+		// current centroid, keeping K stable.
+		for c := 0; c < k; c++ {
+			if size[c] > 0 {
+				continue
+			}
+			far, farD := -1, -1.0
+			for i, v := range vecs {
+				if size[assign[i]] <= 1 {
+					continue
+				}
+				if d := dist2(v, centroids[assign[i]]); d > farD {
+					far, farD = i, d
+				}
+			}
+			if far < 0 {
+				continue
+			}
+			size[assign[far]]--
+			assign[far] = c
+			size[c] = 1
+			changed = true
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids as member means.
+		for c := range centroids {
+			centroids[c] = [vectorDims]float64{}
+		}
+		for i, v := range vecs {
+			for d := 0; d < vectorDims; d++ {
+				centroids[assign[i]][d] += v[d]
+			}
+		}
+		for c := range centroids {
+			if size[c] == 0 {
+				continue
+			}
+			inv := 1 / float64(size[c])
+			for d := 0; d < vectorDims; d++ {
+				centroids[c][d] *= inv
+			}
+		}
+	}
+
+	cl := &Clusters{
+		K:              k,
+		Assign:         assign,
+		Size:           size,
+		AvgDist:        make([]float64, k),
+		Representative: make([]int, k),
+	}
+	repD := make([]float64, k)
+	for c := range repD {
+		cl.Representative[c] = -1
+		repD[c] = math.Inf(1)
+	}
+	for i, v := range vecs {
+		c := assign[i]
+		d := math.Sqrt(dist2(v, centroids[c]))
+		cl.AvgDist[c] += d
+		if d < repD[c] {
+			repD[c] = d
+			cl.Representative[c] = i
+		}
+	}
+	for c := range cl.AvgDist {
+		if cl.Size[c] > 0 {
+			cl.AvgDist[c] /= float64(cl.Size[c])
+		}
+	}
+	return cl
+}
+
+// dist2 is the squared Euclidean distance between two interval vectors.
+func dist2(a, b [vectorDims]float64) float64 {
+	var s float64
+	for d := 0; d < vectorDims; d++ {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return s
+}

@@ -1,0 +1,161 @@
+package sample
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"rfpsim/internal/runner"
+	"rfpsim/internal/stats"
+)
+
+// Defaults applied to a zero-valued runner.Sampling spec. With the
+// standard 60000-uop measurement window they give 30 intervals and at
+// most 5 replayed representatives — a 6x reduction in cycle-simulated
+// measurement volume.
+const (
+	// DefaultIntervalUops is the default interval length.
+	DefaultIntervalUops = 2000
+	// DefaultMaxK is the default representative budget.
+	DefaultMaxK = 5
+)
+
+// PlanSeedSalt decorrelates the clustering seed from the workload seed
+// (which already drives uop generation). Exported so cmd/rfpsample derives
+// the exact plan a sampled run would replay.
+const PlanSeedSalt = 0x51A4B0177E5EED
+
+// Normalized returns sp with the documented defaults applied: 2000-uop
+// intervals, at most 5 representatives, and one interval of per-point
+// warmup. Content addressing (internal/service) runs on the normalized
+// form so a spec spelling the defaults out shares a cache entry with one
+// that omits them.
+func Normalized(sp runner.Sampling) runner.Sampling {
+	if sp.IntervalUops == 0 {
+		sp.IntervalUops = DefaultIntervalUops
+	}
+	if sp.MaxK == 0 {
+		sp.MaxK = DefaultMaxK
+	}
+	if sp.WarmupUops == 0 {
+		sp.WarmupUops = sp.IntervalUops
+	}
+	return sp
+}
+
+// Validate rejects sampled jobs that cannot be executed: sampling needs a
+// re-instantiable catalog workload (the profiling pass and every replayed
+// interval instantiate fresh generators), a single seed, a sane interval
+// length and a positive representative budget.
+func Validate(job runner.Job) error {
+	if job.Sampling == nil {
+		return nil
+	}
+	sp := Normalized(*job.Sampling)
+	switch {
+	case job.Gen != nil:
+		return errors.New("sample: sampling needs a re-instantiable catalog workload, not a one-shot generator (trace upload)")
+	case job.Seeds > 1:
+		return fmt.Errorf("sample: sampling supports a single seed, got Seeds=%d", job.Seeds)
+	case job.Sampling.MaxK < 0:
+		return fmt.Errorf("sample: MaxK must be >= 0, got %d", job.Sampling.MaxK)
+	case job.MeasureUops < sp.IntervalUops:
+		return fmt.Errorf("sample: measured window (%d uops) is shorter than one interval (%d uops)",
+			job.MeasureUops, sp.IntervalUops)
+	}
+	return nil
+}
+
+// Result is a sampled (or full) execution outcome.
+type Result struct {
+	// Stats is the aggregate statistics block. For sampled runs the
+	// counters are cluster-weight scaled, so totals estimate the full
+	// window and ratios (IPC, coverage) are weighted averages.
+	Stats *stats.Sim
+	// Plan is the replay plan a sampled run used; nil for full runs.
+	Plan *Plan
+}
+
+// Run executes a job, sampled when job.Sampling is set and as a plain
+// full-window runner.Run otherwise. It is the execution entry point the
+// service daemon, the sweep local backend and cmd/rfpsim share.
+func Run(ctx context.Context, job runner.Job) (*stats.Sim, error) {
+	res, err := RunResult(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	return res.Stats, nil
+}
+
+// RunResult is Run plus the replay plan, for callers that report the
+// error bound and sampled volume (the service response, cmd/rfpsample).
+func RunResult(ctx context.Context, job runner.Job) (Result, error) {
+	if job.Sampling == nil {
+		st, err := runner.Run(ctx, job)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Stats: st}, nil
+	}
+	if err := Validate(job); err != nil {
+		return Result{}, err
+	}
+	if err := job.Config.Validate(); err != nil {
+		return Result{}, fmt.Errorf("sample: invalid config: %w", err)
+	}
+	sp := Normalized(*job.Sampling)
+
+	// Phase 1+2: functional profile of the measured window, clustered
+	// into the replay plan. The profiled window is the same [Warmup,
+	// Warmup+Measure) stream slice a full run would measure.
+	profile, err := ProfileSpec(ctx, job.Spec, job.WarmupUops, job.MeasureUops, sp.IntervalUops)
+	if err != nil {
+		return Result{}, err
+	}
+	plan, err := BuildPlan(profile, sp.MaxK, job.Spec.Seed^PlanSeedSalt)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Phase 3: weighted replay. Each representative becomes a sub-job:
+	// functionally warm up to shortly before the interval
+	// (core.FastForward trains predictors and caches over the skipped
+	// prefix, so the interval sees near-full-run predictor state), warm
+	// up cycle-accurately for sp.WarmupUops, measure one interval, scale
+	// by the cluster weight. All-or-nothing like runner.Run: any failed
+	// point discards the whole result.
+	total := &stats.Sim{}
+	for _, pt := range plan.Points {
+		st, err := replayPoint(ctx, job, sp, pt)
+		if err != nil {
+			return Result{}, err
+		}
+		stats.Scale(st, pt.Weight)
+		stats.Accumulate(total, st)
+	}
+	return Result{Stats: total, Plan: plan}, nil
+}
+
+// replayPoint cycle-simulates one representative interval.
+func replayPoint(ctx context.Context, job runner.Job, sp runner.Sampling, pt Point) (*stats.Sim, error) {
+	start := job.WarmupUops + uint64(pt.Index)*sp.IntervalUops
+	warm := sp.WarmupUops
+	if warm > start {
+		warm = start // the stream has no history to warm up on
+	}
+	sub := runner.Job{
+		Config:          job.Config,
+		Spec:            job.Spec,
+		FastForwardUops: start - warm,
+		WarmupUops:      warm,
+		MeasureUops:     sp.IntervalUops,
+		Seeds:           1,
+		ColdCaches:      job.ColdCaches,
+		AfterWarmup:     job.AfterWarmup,
+	}
+	st, err := runner.Run(ctx, sub)
+	if err != nil {
+		return nil, fmt.Errorf("sample: %s interval %d: %w", job.Spec.Name, pt.Index, err)
+	}
+	return st, nil
+}

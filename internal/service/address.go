@@ -10,14 +10,16 @@ import (
 	"fmt"
 
 	"rfpsim/internal/runner"
+	"rfpsim/internal/sample"
 	"rfpsim/internal/trace"
 	"rfpsim/internal/tracefile"
 )
 
 // normalized returns the request with the documented defaults applied:
-// 30000/60000-uop windows and a single seed. Content addressing always
-// runs on the normalized form, so a request that spells the defaults out
-// and one that omits them share a cache entry.
+// 30000/60000-uop windows, a single seed, and the internal/sample
+// defaults inside a sampling spec. Content addressing always runs on the
+// normalized form, so a request that spells the defaults out and one that
+// omits them share a cache entry.
 func (req SimRequest) normalized() SimRequest {
 	if req.WarmupUops == 0 {
 		req.WarmupUops = 30000
@@ -27,6 +29,10 @@ func (req SimRequest) normalized() SimRequest {
 	}
 	if req.Seeds < 1 {
 		req.Seeds = 1
+	}
+	if req.Sampling != nil {
+		norm := sample.Normalized(*req.Sampling.toRunner())
+		req.Sampling = fromRunner(&norm)
 	}
 	return req
 }
@@ -72,11 +78,27 @@ func resolveRequest(req SimRequest) (*resolvedJob, error) {
 	rj.job.MeasureUops = req.MeasureUops
 	rj.job.Seeds = req.Seeds
 	rj.job.ColdCaches = req.ColdCaches
+	rj.job.Sampling = req.Sampling.toRunner()
+	if req.Sampling != nil {
+		if err := sample.Validate(rj.job); err != nil {
+			return nil, err
+		}
+		if req.TraceB64 != "" {
+			// sample.Validate catches this once the generator is attached,
+			// but the resolver must reject it before keying: a trace
+			// upload cannot be re-instantiated for profiling and replay.
+			return nil, errors.New("sampling requires a catalog workload, not an uploaded trace")
+		}
+	}
 
 	// The cache key addresses the simulation's full input: the resolved
 	// configuration (digested field by field), the workload spec and base
 	// seed (or trace content digest), the windows, the replica count, and
-	// cache warming. Determinism makes identical keys identical results.
+	// cache warming. A sampled request additionally keys the normalized
+	// sampling parameters — a sampled result is an estimator with its own
+	// bias, so it must never be served from (or poison) the cache entry of
+	// the full-window run it approximates. Determinism makes identical
+	// keys identical results.
 	cfgJSON, err := json.Marshal(cfg)
 	if err != nil {
 		return nil, err
@@ -84,6 +106,10 @@ func resolveRequest(req SimRequest) (*resolvedJob, error) {
 	h := sha256.New()
 	fmt.Fprintf(h, "config:%s|%s|warmup:%d|measure:%d|seeds:%d|cold:%t",
 		cfgJSON, workloadKey, req.WarmupUops, req.MeasureUops, req.Seeds, req.ColdCaches)
+	if sp := req.Sampling; sp != nil {
+		fmt.Fprintf(h, "|sampling:interval:%d:maxk:%d:warmup:%d",
+			sp.IntervalUops, sp.MaxK, sp.WarmupUops)
+	}
 	rj.key = hex.EncodeToString(h.Sum(nil))
 	return rj, nil
 }
@@ -91,9 +117,10 @@ func resolveRequest(req SimRequest) (*resolvedJob, error) {
 // ResolveJob validates a request into the runner job it would execute and
 // the content address the daemon's result cache files it under. Trace
 // uploads get their generator attached, so the returned job is directly
-// runnable via runner.Run; callers outside the daemon (cmd/rfpsweep's
-// local backend) therefore execute the exact code path a POST /v1/sim
-// would, producing bit-identical statistics.
+// runnable via sample.Run (which is runner.Run for full-window jobs);
+// callers outside the daemon (cmd/rfpsweep's local backend) therefore
+// execute the exact code path a POST /v1/sim would, producing
+// bit-identical statistics.
 func ResolveJob(req SimRequest) (runner.Job, string, error) {
 	rj, err := resolveRequest(req)
 	if err != nil {

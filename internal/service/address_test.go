@@ -78,6 +78,87 @@ func TestContentAddressNormalizesDefaults(t *testing.T) {
 	}
 }
 
+// TestSampledContentAddress pins the sampled key extension: the sampling
+// parameters are appended to the full-run key (which stays byte-identical
+// for non-sampled requests), defaults normalize into the same key, and a
+// sampled request never collides with its full-window twin — a sampled
+// result is an estimate and must not be served from the exact run's cache
+// entry or vice versa.
+func TestSampledContentAddress(t *testing.T) {
+	full := SimRequest{
+		Workload:    "spec06_mcf",
+		Config:      ConfigSpec{RFP: true},
+		WarmupUops:  30000,
+		MeasureUops: 60000,
+		Seeds:       1,
+	}
+	sampled := full
+	sampled.Sampling = &SamplingSpec{}
+	kFull, err := ContentAddress(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kSampled, err := ContentAddress(sampled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kFull == kSampled {
+		t.Fatalf("sampled and full requests share content address %s", kFull)
+	}
+
+	// Pinned format: the normalized sampling params extend the full key.
+	cfg, err := full.Config.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := trace.ByName(full.Workload)
+	h := sha256.New()
+	fmt.Fprintf(h, "config:%s|workload:%s:seed:%d|warmup:%d|measure:%d|seeds:%d|cold:%t",
+		cfgJSON, spec.Name, spec.Seed, 30000, 60000, 1, false)
+	fmt.Fprintf(h, "|sampling:interval:%d:maxk:%d:warmup:%d", 2000, 5, 2000)
+	if want := hex.EncodeToString(h.Sum(nil)); kSampled != want {
+		t.Errorf("sampled content address format drifted:\n got %s\nwant %s", kSampled, want)
+	}
+
+	// Spelling the defaults out shares the defaulted sampled key.
+	explicit := full
+	explicit.Sampling = &SamplingSpec{IntervalUops: 2000, MaxK: 5, WarmupUops: 2000}
+	if ke, err := ContentAddress(explicit); err != nil || ke != kSampled {
+		t.Errorf("explicit-defaults sampled key differs (err=%v):\n got %s\nwant %s", err, ke, kSampled)
+	}
+
+	// Different sampling parameters are different simulations.
+	coarse := full
+	coarse.Sampling = &SamplingSpec{IntervalUops: 4000}
+	if kc, err := ContentAddress(coarse); err != nil || kc == kSampled {
+		t.Errorf("different sampling params must key differently (err=%v)", err)
+	}
+}
+
+// TestSampledResolveRejections: the resolver refuses sampled requests it
+// could never execute, before any key is handed out.
+func TestSampledResolveRejections(t *testing.T) {
+	multi := SimRequest{
+		Workload: "spec06_mcf",
+		Seeds:    3,
+		Sampling: &SamplingSpec{},
+	}
+	if _, _, err := ResolveJob(multi); err == nil {
+		t.Error("sampled request with Seeds=3 accepted")
+	}
+	upload := SimRequest{
+		TraceB64: "AAAA",
+		Sampling: &SamplingSpec{},
+	}
+	if _, _, err := ResolveJob(upload); err == nil {
+		t.Error("sampled trace upload accepted")
+	}
+}
+
 // TestResolveJobMatchesServerKey pins the exported resolution to the
 // daemon's internal one: same job fields, same cache key.
 func TestResolveJobMatchesServerKey(t *testing.T) {

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"rfpsim/internal/runner"
+	"rfpsim/internal/sample"
 	"rfpsim/internal/stats"
 	"rfpsim/internal/trace"
 	"rfpsim/internal/tracefile"
@@ -79,8 +80,46 @@ type SimRequest struct {
 	Seeds int `json:"seeds,omitempty"`
 	// ColdCaches skips footprint-based cache warming.
 	ColdCaches bool `json:"cold_caches,omitempty"`
+	// Sampling requests SimPoint-style sampled simulation of the measured
+	// window (catalog workloads with a single seed only). Omitted fields
+	// take the documented defaults; the response echoes the normalized
+	// spec plus the replay plan summary.
+	Sampling *SamplingSpec `json:"sampling,omitempty"`
 	// TimeoutMS cancels the job after this many milliseconds of wall time.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SamplingSpec is the wire form of runner.Sampling: zero values select the
+// internal/sample defaults (2000-uop intervals, 5 representatives, one
+// interval of per-point cycle warmup).
+type SamplingSpec struct {
+	IntervalUops uint64 `json:"interval_uops,omitempty"`
+	MaxK         int    `json:"max_k,omitempty"`
+	WarmupUops   uint64 `json:"warmup_uops,omitempty"`
+}
+
+// toRunner converts the wire spec to the runner's job form.
+func (sp *SamplingSpec) toRunner() *runner.Sampling {
+	if sp == nil {
+		return nil
+	}
+	return &runner.Sampling{
+		IntervalUops: sp.IntervalUops,
+		MaxK:         sp.MaxK,
+		WarmupUops:   sp.WarmupUops,
+	}
+}
+
+// fromRunner converts a runner sampling spec back to wire form.
+func fromRunner(sp *runner.Sampling) *SamplingSpec {
+	if sp == nil {
+		return nil
+	}
+	return &SamplingSpec{
+		IntervalUops: sp.IntervalUops,
+		MaxK:         sp.MaxK,
+		WarmupUops:   sp.WarmupUops,
+	}
 }
 
 // SimResponse is the POST /v1/sim result body. It contains no wall-clock
@@ -103,6 +142,18 @@ type SimResponse struct {
 	Instructions uint64 `json:"instructions"`
 	// IPC is the replica-weighted instructions per cycle.
 	IPC float64 `json:"ipc"`
+	// Sampling echoes the normalized sampling spec of a sampled run
+	// (absent for full runs). SampledPoints and SampledUops summarize the
+	// replay plan — how many representative intervals were cycle-simulated
+	// and their total measured volume — and SamplingErrorBound is the
+	// plan's clustering-dispersion confidence signal in [0, 1] (see
+	// docs/sampling.md; a heuristic, not a guarantee). For sampled runs
+	// Cycles/Instructions/Stats are cluster-weight scaled estimates of the
+	// full window.
+	Sampling           *SamplingSpec `json:"sampling,omitempty"`
+	SampledPoints      int           `json:"sampled_points,omitempty"`
+	SampledUops        uint64        `json:"sampled_uops,omitempty"`
+	SamplingErrorBound float64       `json:"sampling_error_bound,omitempty"`
 	// Stats is the full statistics block (counters summed across seeds).
 	Stats *stats.Sim `json:"stats"`
 }
@@ -110,8 +161,9 @@ type SimResponse struct {
 // Response assembles the deterministic result body for a completed job.
 // The daemon and the sweep orchestrator's local backend share it, so a
 // unit executed in-process reports exactly what a POST /v1/sim would.
-func Response(job runner.Job, st *stats.Sim) SimResponse {
-	return SimResponse{
+func Response(job runner.Job, res sample.Result) SimResponse {
+	st := res.Stats
+	resp := SimResponse{
 		Workload:     job.Spec.Name,
 		Config:       job.Config.Name,
 		Seeds:        job.Seeds,
@@ -122,6 +174,14 @@ func Response(job runner.Job, st *stats.Sim) SimResponse {
 		IPC:          st.IPC(),
 		Stats:        st,
 	}
+	if res.Plan != nil {
+		norm := sample.Normalized(*job.Sampling)
+		resp.Sampling = fromRunner(&norm)
+		resp.SampledPoints = len(res.Plan.Points)
+		resp.SampledUops = res.Plan.MeasuredUops()
+		resp.SamplingErrorBound = res.Plan.ErrorBound
+	}
+	return resp
 }
 
 // errorResponse is the JSON body of every non-2xx response.
@@ -243,17 +303,17 @@ func (s *Server) execute(ctx context.Context, rj *resolvedJob) jobResult {
 		}
 		job.Gen = r
 	}
-	st, err := runner.Run(ctx, job)
+	res, err := sample.RunResult(ctx, job)
 	if err != nil {
 		return jobResult{err: err}
 	}
-	body, err := json.Marshal(Response(job, st))
+	body, err := json.Marshal(Response(job, res))
 	if err != nil {
 		return jobResult{err: err}
 	}
 	body = append(body, '\n')
 	s.cache.put(rj.key, body)
-	return jobResult{body: body, st: st}
+	return jobResult{body: body, st: res.Stats}
 }
 
 // resolve validates a request into an executable job with its cache key,

@@ -15,6 +15,7 @@ import (
 
 	"rfpsim/internal/isa"
 	"rfpsim/internal/runner"
+	"rfpsim/internal/sample"
 	"rfpsim/internal/trace"
 	"rfpsim/internal/tracefile"
 )
@@ -115,7 +116,7 @@ func TestServiceMatchesDirectRunner(t *testing.T) {
 		t.Fatal(err)
 	}
 	st, err := runner.Run(context.Background(), runner.Job{
-		Config: cfg, Spec: spec, WarmupUops: 5000, MeasureUops: 10000,
+		Config: cfg, Spec: spec, WarmupUops: 5000, MeasureUops: 10000, Seeds: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -123,6 +124,70 @@ func TestServiceMatchesDirectRunner(t *testing.T) {
 	if st.Cycles != sr.Cycles || st.Instructions != sr.Instructions {
 		t.Errorf("service path diverges from direct runner: service %d cycles / %d uops, direct %d / %d",
 			sr.Cycles, sr.Instructions, st.Cycles, st.Instructions)
+	}
+}
+
+// TestSampledSimEndpoint runs a sampled job over HTTP end to end: the
+// response must echo the normalized sampling spec, summarize the replay
+// plan, match the in-process sample.RunResult path exactly, and cache
+// separately from the full-window twin.
+func TestSampledSimEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	req := SimRequest{
+		Workload:    "spec06_mcf",
+		Config:      ConfigSpec{RFP: true},
+		WarmupUops:  10000,
+		MeasureUops: 20000,
+		Sampling:    &SamplingSpec{},
+	}
+	resp, body := postSim(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST: %d %s", resp.StatusCode, body)
+	}
+	var sr SimResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Sampling == nil || sr.Sampling.IntervalUops != 2000 || sr.Sampling.MaxK != 5 {
+		t.Fatalf("response sampling echo = %+v, want normalized defaults", sr.Sampling)
+	}
+	if sr.SampledPoints < 1 || sr.SampledPoints > 5 {
+		t.Errorf("sampled points = %d, want 1..5", sr.SampledPoints)
+	}
+	if sr.SampledUops != uint64(sr.SampledPoints)*2000 {
+		t.Errorf("sampled uops = %d with %d points", sr.SampledUops, sr.SampledPoints)
+	}
+
+	job, _, err := ResolveJob(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sample.RunResult(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cycles != sr.Cycles || res.Stats.Instructions != sr.Instructions {
+		t.Errorf("service sampled path diverges from sample.RunResult: service %d cycles / %d uops, direct %d / %d",
+			sr.Cycles, sr.Instructions, res.Stats.Cycles, res.Stats.Instructions)
+	}
+
+	// The full-window twin must compute fresh (distinct cache entry) and
+	// report no sampling block.
+	full := req
+	full.Sampling = nil
+	respF, bodyF := postSim(t, ts, full)
+	if respF.StatusCode != http.StatusOK {
+		t.Fatalf("full POST: %d %s", respF.StatusCode, bodyF)
+	}
+	if got := respF.Header.Get("X-Rfpsimd-Cache"); got != "miss" {
+		t.Errorf("full twin served from cache (%q) — sampled and full keys collide", got)
+	}
+	var fr SimResponse
+	if err := json.Unmarshal(bodyF, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Sampling != nil || fr.SampledPoints != 0 || fr.SampledUops != 0 {
+		t.Errorf("full run reports sampling fields: %+v", fr)
 	}
 }
 

@@ -1,5 +1,7 @@
 package stats
 
+import "reflect"
+
 // Accumulate folds src's counters into dst. It is the seed-replica merge
 // used by -seeds averaging and by the rfpsimd service: every replica's
 // counters are summed, so ratios computed from the sums are
@@ -47,4 +49,35 @@ func Accumulate(dst, src *Sim) {
 	dst.Slots.StallEmpty += src.Slots.StallEmpty
 	dst.VPFlushes += src.VPFlushes
 	dst.EPPReexecutions += src.EPPReexecutions
+}
+
+// Scale multiplies every counter of s by w. It is the weighted-replay
+// aggregation of sampled simulation (internal/sample): a representative
+// interval standing for w intervals contributes its counters w times, so
+// ratios over the scaled sums are cluster-weighted averages — the SimPoint
+// weighted-CPI construction. Unlike Accumulate it walks the struct by
+// reflection, so a newly added counter is scaled automatically; the test
+// in accumulate_test.go pins Scale(k) == k-fold Accumulate over every
+// field.
+func Scale(s *Sim, w uint64) {
+	scaleValue(reflect.ValueOf(s).Elem(), w)
+}
+
+func scaleValue(v reflect.Value, w uint64) {
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			scaleValue(v.Field(i), w)
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			scaleValue(v.Index(i), w)
+		}
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() * w)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() * int64(w))
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float() * float64(w))
+	}
 }

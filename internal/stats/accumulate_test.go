@@ -111,6 +111,29 @@ func TestAccumulatePropagatesEveryCounter(t *testing.T) {
 	}
 }
 
+// TestScaleMatchesRepeatedAccumulate: for every numeric field, scaling by
+// k must equal accumulating the block k times into a zero value — the
+// equivalence that makes sampled weighted replay consistent with seed
+// replication. Walking every field also guarantees Scale keeps up with
+// newly added counters.
+func TestScaleMatchesRepeatedAccumulate(t *testing.T) {
+	paths := numericFieldPaths(reflect.TypeOf(Sim{}), "")
+	const sentinel, k = 7, 5
+	for _, path := range paths {
+		scaled, summed := &Sim{}, &Sim{}
+		src := &Sim{}
+		setNumeric(fieldByPath(reflect.ValueOf(src).Elem(), path), sentinel)
+		*scaled = *src
+		Scale(scaled, k)
+		for i := 0; i < k; i++ {
+			Accumulate(summed, src)
+		}
+		if *scaled != *summed {
+			t.Errorf("Scale(%d) != %d-fold Accumulate for Sim.%s", k, k, path)
+		}
+	}
+}
+
 // TestAccumulateAddsOntoExisting checks summation (not overwrite)
 // semantics for a representative subset.
 func TestAccumulateAddsOntoExisting(t *testing.T) {

@@ -4,7 +4,7 @@ import (
 	"context"
 	"time"
 
-	"rfpsim/internal/runner"
+	"rfpsim/internal/sample"
 	"rfpsim/internal/service"
 )
 
@@ -18,9 +18,10 @@ type Backend interface {
 	Name() string
 }
 
-// LocalBackend runs units in-process through internal/runner — the exact
-// code path a POST /v1/sim executes on a daemon, so a sweep run locally
-// and the same sweep run against a fleet produce identical CSVs.
+// LocalBackend runs units in-process through internal/sample (which is
+// internal/runner for full-window units) — the exact code path a POST
+// /v1/sim executes on a daemon, so a sweep run locally and the same sweep
+// run against a fleet produce identical CSVs.
 type LocalBackend struct {
 	// Metrics, when set, records per-unit latency under the "local"
 	// backend label.
@@ -42,13 +43,13 @@ func (b LocalBackend) Run(ctx context.Context, u Unit) (*service.SimResponse, er
 		defer cancel()
 	}
 	start := time.Now()
-	st, err := runner.Run(ctx, job)
+	res, err := sample.RunResult(ctx, job)
 	if b.Metrics != nil {
 		b.Metrics.observe(b.Name(), time.Since(start), err != nil)
 	}
 	if err != nil {
 		return nil, err
 	}
-	resp := service.Response(job, st)
+	resp := service.Response(job, res)
 	return &resp, nil
 }

@@ -39,6 +39,12 @@ type Spec struct {
 	MeasureUops uint64 `json:"measure_uops,omitempty"`
 	Seeds       int    `json:"seeds,omitempty"`
 	ColdCaches  bool   `json:"cold_caches,omitempty"`
+	// Sampling applies SimPoint-style sampled simulation to every unit
+	// (see docs/sampling.md): representative intervals only, weighted
+	// statistics, roughly a 5x cut in per-unit simulation cost. Sampled
+	// units key to different content addresses than their full-window
+	// twins, so flipping this on a resumed sweep re-simulates every unit.
+	Sampling *service.SamplingSpec `json:"sampling,omitempty"`
 	// TimeoutMS bounds each unit's wall time on the executing backend.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
@@ -202,6 +208,7 @@ func (s *Spec) Expand() ([]Unit, error) {
 				MeasureUops: s.MeasureUops,
 				Seeds:       s.Seeds,
 				ColdCaches:  s.ColdCaches,
+				Sampling:    s.Sampling,
 				TimeoutMS:   s.TimeoutMS,
 			}
 			key, err := service.ContentAddress(req)
