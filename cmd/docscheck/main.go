@@ -1,0 +1,139 @@
+// Command docscheck validates relative markdown links across the
+// repository: every `[text](target)` in every *.md file must point at a
+// file or directory that exists. CI runs it so documentation moves and
+// renames fail the build instead of silently rotting (docs/README.md is
+// the index it protects).
+//
+// Usage:
+//
+//	docscheck [-root DIR]
+//
+// External links (http, https, mailto) and pure in-page anchors (#...)
+// are skipped; fragments on relative links are stripped before the
+// existence check; a leading "/" anchors the target at -root instead of
+// the linking file's directory. Exits 1 listing every broken link.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// linkRe matches inline markdown links. It deliberately does not match
+// reference-style links or autolinks — the repo's docs use inline form.
+// An optional quoted title (`[t](url "title")`) is consumed so only the
+// URL part is captured.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// skipDirs are directory names never descended into.
+var skipDirs = map[string]bool{".git": true, "node_modules": true, "testdata": true}
+
+// brokenLink is one dangling reference: where it was written and what it
+// points at.
+type brokenLink struct {
+	file   string // markdown file containing the link, root-relative
+	target string // the link as written
+}
+
+func main() {
+	root := flag.String("root", ".", "repository root to scan")
+	flag.Parse()
+
+	broken, nfiles, nlinks, err := check(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(2)
+	}
+	for _, b := range broken {
+		fmt.Fprintf(os.Stderr, "docscheck: %s: broken link %q\n", b.file, b.target)
+	}
+	if len(broken) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d broken link(s) in %d file(s) scanned\n", len(broken), nfiles)
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d relative link(s) OK across %d markdown file(s)\n", nlinks, nfiles)
+}
+
+// check walks root, validates every relative link in every markdown file,
+// and returns the broken ones plus scan counts. Files are visited in
+// lexical walk order so the report is deterministic.
+func check(root string) (broken []brokenLink, nfiles, nlinks int, err error) {
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, werr error) error {
+		if werr != nil {
+			return werr
+		}
+		if d.IsDir() {
+			if skipDirs[d.Name()] && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.EqualFold(filepath.Ext(path), ".md") {
+			return nil
+		}
+		nfiles++
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			rel = path
+		}
+		for _, target := range extractLinks(string(data)) {
+			nlinks++
+			if !targetExists(root, filepath.Dir(path), target) {
+				broken = append(broken, brokenLink{file: rel, target: target})
+			}
+		}
+		return nil
+	})
+	sort.Slice(broken, func(i, j int) bool {
+		if broken[i].file != broken[j].file {
+			return broken[i].file < broken[j].file
+		}
+		return broken[i].target < broken[j].target
+	})
+	return broken, nfiles, nlinks, err
+}
+
+// extractLinks returns the checkable relative targets in one markdown
+// document: external schemes and pure anchors are dropped here, not in
+// the walker, so the per-file link count only counts what was verified.
+func extractLinks(doc string) []string {
+	var targets []string
+	for _, m := range linkRe.FindAllStringSubmatch(doc, -1) {
+		t := m[1]
+		if strings.HasPrefix(t, "http://") || strings.HasPrefix(t, "https://") ||
+			strings.HasPrefix(t, "mailto:") || strings.HasPrefix(t, "#") {
+			continue
+		}
+		targets = append(targets, t)
+	}
+	return targets
+}
+
+// targetExists resolves one relative link and stats it. dir is the
+// linking file's directory; a leading "/" re-anchors at the repo root
+// (the GitHub-render convention the docs use).
+func targetExists(root, dir, target string) bool {
+	if i := strings.IndexByte(target, '#'); i >= 0 {
+		target = target[:i]
+	}
+	if target == "" {
+		return true // "[x](#anchor)" after fragment stripping
+	}
+	base := dir
+	if strings.HasPrefix(target, "/") {
+		base = root
+		target = strings.TrimPrefix(target, "/")
+	}
+	_, err := os.Stat(filepath.Join(base, filepath.FromSlash(target)))
+	return err == nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTree materializes a map of relative path -> content under dir.
+func writeTree(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for rel, content := range files {
+		p := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCheckCleanTree(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"README.md":      "See [docs](docs/guide.md) and [the site](https://example.com) and [a section](#usage).\n",
+		"docs/guide.md":  "Back to [readme](../README.md), [root-anchored](/README.md), [sibling dir](.), [frag](../README.md#top).\n",
+		"docs/other.txt": "[not markdown](nowhere.md)\n",
+	})
+	broken, nfiles, nlinks, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) != 0 {
+		t.Fatalf("clean tree reported broken links: %v", broken)
+	}
+	if nfiles != 2 {
+		t.Fatalf("scanned %d files, want 2 (the .txt must be skipped)", nfiles)
+	}
+	// README contributes 1 relative link; guide.md contributes 4.
+	if nlinks != 5 {
+		t.Fatalf("verified %d links, want 5", nlinks)
+	}
+}
+
+func TestCheckReportsBrokenLinks(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"README.md":     "A [dangling](docs/missing.md) link and a [good](docs/guide.md) one.\n",
+		"docs/guide.md": "Another [dangling](/gone.md) one, root-anchored.\n",
+	})
+	broken, _, _, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) != 2 {
+		t.Fatalf("got %d broken links, want 2: %v", len(broken), broken)
+	}
+	// Deterministic order: sorted by file, then target.
+	if broken[0].file != "README.md" || broken[0].target != "docs/missing.md" {
+		t.Errorf("broken[0] = %+v", broken[0])
+	}
+	if broken[1].file != filepath.Join("docs", "guide.md") || broken[1].target != "/gone.md" {
+		t.Errorf("broken[1] = %+v", broken[1])
+	}
+}
+
+func TestCheckSkipsGitAndTestdata(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"ok.md":               "nothing\n",
+		".git/junk.md":        "[broken](nope.md)\n",
+		"pkg/testdata/fix.md": "[broken](nope.md)\n",
+	})
+	broken, nfiles, _, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) != 0 || nfiles != 1 {
+		t.Fatalf("skip dirs leaked: broken=%v nfiles=%d", broken, nfiles)
+	}
+}
+
+func TestExtractLinks(t *testing.T) {
+	doc := "[a](x.md) [b](http://e.com) [c](https://e.com) [d](mailto:x@y) [e](#frag) [f](y.md#s) [g](dir/z.md \"title\")"
+	got := extractLinks(doc)
+	want := []string{"x.md", "y.md#s", "dir/z.md"}
+	if len(got) != len(want) {
+		t.Fatalf("extractLinks = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("extractLinks[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -11,7 +11,8 @@
 //
 // With -verify it runs the workload twice — full window and sampled — and
 // compares the IPC estimates; an error above -tol exits nonzero. CI uses
-// this as the sampled-vs-full smoke check.
+// this as the sampled-vs-full smoke check. -v turns on debug logging and
+// prints a per-stage wall-time breakdown of the verify runs on stderr.
 package main
 
 import (
@@ -19,12 +20,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"rfpsim/internal/config"
+	"rfpsim/internal/obs"
 	"rfpsim/internal/runner"
 	"rfpsim/internal/sample"
 	"rfpsim/internal/trace"
@@ -41,8 +44,12 @@ func main() {
 		verify   = flag.Bool("verify", false, "run full and sampled simulations and compare IPC")
 		tol      = flag.Float64("tol", 0.02, "max relative IPC error -verify tolerates")
 		useRFP   = flag.Bool("rfp", false, "verify with Register File Prefetching enabled")
+		verbose  = flag.Bool("v", false, "debug logging plus per-stage wall-time breakdowns on stderr")
 	)
 	flag.Parse()
+	if *verbose {
+		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug})))
+	}
 
 	if *workload == "" {
 		fmt.Fprintln(os.Stderr, "rfpsample: -workload is required (rfpsim -listworkloads lists the suite)")
@@ -58,7 +65,7 @@ func main() {
 	defer stop()
 
 	if *verify {
-		os.Exit(runVerify(ctx, spec, *warmup, *measure, *interval, *maxK, *tol, *useRFP))
+		os.Exit(runVerify(ctx, spec, *warmup, *measure, *interval, *maxK, *tol, *useRFP, *verbose))
 	}
 
 	sp := sample.Normalized(runner.Sampling{IntervalUops: *interval, MaxK: *maxK})
@@ -86,7 +93,7 @@ func main() {
 
 // runVerify compares full-window and sampled IPC under the given windows
 // and returns the process exit code.
-func runVerify(ctx context.Context, spec trace.Spec, warmup, measure, interval uint64, maxK int, tol float64, useRFP bool) int {
+func runVerify(ctx context.Context, spec trace.Spec, warmup, measure, interval uint64, maxK int, tol float64, useRFP, verbose bool) int {
 	cfg := config.Baseline()
 	if useRFP {
 		cfg = cfg.WithRFP()
@@ -98,17 +105,27 @@ func runVerify(ctx context.Context, spec trace.Spec, warmup, measure, interval u
 		MeasureUops: measure,
 		Seeds:       1,
 	}
-	full, err := runner.Run(ctx, job)
+	fullCtx, sampledCtx := ctx, ctx
+	var fullTim, sampledTim *obs.Timings
+	if verbose {
+		fullCtx, fullTim = obs.WithTimings(ctx)
+		sampledCtx, sampledTim = obs.WithTimings(ctx)
+	}
+	full, err := runner.Run(fullCtx, job)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rfpsample: full run:", err)
 		return 1
 	}
 	sampled := job
 	sampled.Sampling = &runner.Sampling{IntervalUops: interval, MaxK: maxK}
-	res, err := sample.RunResult(ctx, sampled)
+	res, err := sample.RunResult(sampledCtx, sampled)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rfpsample: sampled run:", err)
 		return 1
+	}
+	if verbose {
+		fmt.Fprintf(os.Stderr, "full run timings:    %s\n", fullTim.Pretty())
+		fmt.Fprintf(os.Stderr, "sampled run timings: %s\n", sampledTim.Pretty())
 	}
 	relErr := res.Stats.IPC()/full.IPC() - 1
 	fmt.Printf("%s (%s): full IPC %.4f, sampled IPC %.4f, error %+.2f%% "+

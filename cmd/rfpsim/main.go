@@ -7,19 +7,27 @@
 //	rfpsim -workload spec06_mcf [-rfp] [-vp eves|dlvp|composite|epp]
 //	       [-oracle l1|l2|llc|mem] [-2x] [-warmup N] [-measure N] [-seed S]
 //	       [-sample] [-sample-interval N] [-sample-maxk K] [-sample-warmup N]
+//	       [-v] [-cpuprofile out.pprof]
 //	rfpsim -listworkloads
+//
+// -v turns on debug logging and prints a per-stage wall-time breakdown
+// (fast-forward / warmup / measure / aggregate, plus profile under
+// -sample) to stderr after the run; -cpuprofile captures a pprof CPU
+// profile of the simulation. See docs/observability.md.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"rfpsim/internal/config"
 	"rfpsim/internal/core"
+	"rfpsim/internal/obs"
 	"rfpsim/internal/runner"
 	"rfpsim/internal/sample"
 	"rfpsim/internal/stats"
@@ -50,8 +58,14 @@ func main() {
 		sInterval = flag.Uint64("sample-interval", 0, "sampling interval length in uops (0 = default 2000)")
 		sMaxK     = flag.Int("sample-maxk", 0, "max representative intervals (0 = default 5)")
 		sWarmup   = flag.Uint64("sample-warmup", 0, "per-representative cycle warmup uops (0 = one interval)")
+
+		verbose    = flag.Bool("v", false, "debug logging plus a per-stage wall-time breakdown on stderr")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
 	)
 	flag.Parse()
+	if *verbose {
+		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug})))
+	}
 
 	if *listWk {
 		for _, c := range trace.Categories() {
@@ -157,10 +171,28 @@ func main() {
 		}
 	}
 
-	res, err := sample.RunResult(ctx, job)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
+	var tim *obs.Timings
+	if *verbose {
+		ctx, tim = obs.WithTimings(ctx)
+	}
+	run := func() (sample.Result, error) { return sample.RunResult(ctx, job) }
+	var res sample.Result
+	var runErr error
+	if *cpuProfile != "" {
+		_, runErr = obs.CaptureCPUProfile(*cpuProfile, func() error {
+			var e error
+			res, e = run()
+			return e
+		})
+	} else {
+		res, runErr = run()
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "run failed: %v\n", runErr)
 		os.Exit(1)
+	}
+	if tim != nil {
+		fmt.Fprintf(os.Stderr, "stage timings: %s\n", tim.Pretty())
 	}
 	if res.Plan != nil {
 		fmt.Print(res.Plan)

@@ -1,41 +1,65 @@
 // Command rfpsimd is the long-running simulation daemon: it accepts
 // simulation jobs over HTTP, runs them on a bounded worker pool with
 // backpressure, caches results by content address, and exposes
-// Prometheus-style metrics. See docs/service.md for the API and a curl
-// quickstart.
+// Prometheus-style metrics. Every request gets a run ID (echoed in the
+// X-Rfpsimd-Run-Id response header) that correlates the response with all
+// structured log lines the job produced; -pprof mounts the net/http/pprof
+// endpoints and -profile-dir captures a per-job CPU profile. See
+// docs/service.md for the API and docs/observability.md for the metrics,
+// log fields and profiling endpoints.
 //
 // Usage:
 //
 //	rfpsimd [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	        [-timeout 5m] [-maxuops N] [-drain 30s] [-http-timeout 2m]
+//	        [-log-format text|json] [-log-level info] [-pprof]
+//	        [-profile-dir DIR]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"rfpsim/internal/obs"
 	"rfpsim/internal/service"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "concurrent simulations (0 = NumCPU)")
-		queue   = flag.Int("queue", 0, "queued-job bound before 429s (0 = 4x workers)")
-		cache   = flag.Int("cache", 0, "result cache entries (0 = 4096)")
-		timeout = flag.Duration("timeout", 10*time.Minute, "default per-job timeout (0 = none)")
-		maxUops = flag.Uint64("maxuops", 0, "per-job uop ceiling, (warmup+measure)*seeds (0 = 50M)")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline on SIGTERM/SIGINT")
-		httpTO  = flag.Duration("http-timeout", 2*time.Minute, "read/idle timeout per HTTP connection (slowloris guard)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "concurrent simulations (0 = NumCPU)")
+		queue      = flag.Int("queue", 0, "queued-job bound before 429s (0 = 4x workers)")
+		cache      = flag.Int("cache", 0, "result cache entries (0 = 4096)")
+		timeout    = flag.Duration("timeout", 10*time.Minute, "default per-job timeout (0 = none)")
+		maxUops    = flag.Uint64("maxuops", 0, "per-job uop ceiling, (warmup+measure)*seeds (0 = 50M)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline on SIGTERM/SIGINT")
+		httpTO     = flag.Duration("http-timeout", 2*time.Minute, "read/idle timeout per HTTP connection (slowloris guard)")
+		logFormat  = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes internals; keep off on untrusted networks)")
+		profileDir = flag.String("profile-dir", "", "capture a CPU profile per executed job into DIR/job-<runid>.pprof")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rfpsimd: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+	if *profileDir != "" {
+		if err := os.MkdirAll(*profileDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "rfpsimd: -profile-dir: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	svc := service.New(service.Options{
 		Workers:        *workers,
@@ -43,7 +67,15 @@ func main() {
 		CacheEntries:   *cache,
 		MaxJobUops:     *maxUops,
 		DefaultTimeout: *timeout,
+		Logger:         logger,
+		CPUProfileDir:  *profileDir,
 	})
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	if *pprofOn {
+		obs.RegisterPprof(mux)
+	}
+
 	// A slow or stalled client must not hold a connection (and its
 	// handler goroutine) forever: bound header parsing tightly and body
 	// reads/idle keep-alives by -http-timeout. WriteTimeout is deliberately
@@ -55,7 +87,7 @@ func main() {
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           svc.Handler(),
+		Handler:           mux,
 		ReadHeaderTimeout: headerTO,
 		ReadTimeout:       *httpTO,
 		IdleTimeout:       *httpTO,
@@ -66,23 +98,24 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("rfpsimd listening on %s", *addr)
+	logger.Info("rfpsimd listening", "addr", *addr, "pprof", *pprofOn)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("rfpsimd: %v", err)
+		logger.Error("rfpsimd serve failed", "err", err.Error())
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
 	// Graceful drain: stop accepting connections, let in-flight handlers
 	// (and the jobs they wait on) finish within the deadline, then stop
 	// the worker pool.
-	log.Printf("rfpsimd: draining (deadline %s)", *drain)
+	logger.Info("rfpsimd draining", "deadline", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "rfpsimd: shutdown: %v\n", err)
+		logger.Error("rfpsimd shutdown", "err", err.Error())
 	}
 	svc.Close()
-	log.Printf("rfpsimd: drained")
+	logger.Info("rfpsimd drained")
 }

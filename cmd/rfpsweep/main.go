@@ -11,33 +11,47 @@
 //	rfpsweep -spec sweep.json [-out sweep.csv] [-checkpoint sweep.ckpt]
 //	         [-resume] [-endpoints http://a:8080,http://b:8080]
 //	         [-parallel N] [-retries N] [-progress 5s] [-metrics] [-dry-run]
+//	         [-timings timings.csv] [-metrics-addr :9090]
+//	         [-log-format text|json] [-log-level info]
+//
+// -timings writes a per-unit, per-stage wall-time CSV next to the (still
+// byte-deterministic) aggregate CSV; -metrics-addr serves the sweep's live
+// Prometheus counters over HTTP for the duration of the run. See
+// docs/observability.md.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"rfpsim/internal/obs"
 	"rfpsim/internal/sweep"
 )
 
 func main() {
 	var (
-		specPath   = flag.String("spec", "", "sweep spec JSON file (required)")
-		outPath    = flag.String("out", "", "aggregate CSV output file (default stdout)")
-		checkpoint = flag.String("checkpoint", "", "append-only JSONL checkpoint journal")
-		resume     = flag.Bool("resume", false, "replay the checkpoint and run only missing units")
-		endpoints  = flag.String("endpoints", "", "comma-separated rfpsimd base URLs (empty = run in-process)")
-		parallel   = flag.Int("parallel", 0, "units in flight at once (0 = 4)")
-		retries    = flag.Int("retries", 0, "max attempts per unit on the http backend (0 = 8)")
-		progress   = flag.Duration("progress", 5*time.Second, "progress/ETA report interval (0 = quiet)")
-		metrics    = flag.Bool("metrics", false, "dump Prometheus-style sweep counters to stderr at the end")
-		dryRun     = flag.Bool("dry-run", false, "expand and print the unit grid without running it")
+		specPath    = flag.String("spec", "", "sweep spec JSON file (required)")
+		outPath     = flag.String("out", "", "aggregate CSV output file (default stdout)")
+		checkpoint  = flag.String("checkpoint", "", "append-only JSONL checkpoint journal")
+		resume      = flag.Bool("resume", false, "replay the checkpoint and run only missing units")
+		endpoints   = flag.String("endpoints", "", "comma-separated rfpsimd base URLs (empty = run in-process)")
+		parallel    = flag.Int("parallel", 0, "units in flight at once (0 = 4)")
+		retries     = flag.Int("retries", 0, "max attempts per unit on the http backend (0 = 8)")
+		progress    = flag.Duration("progress", 5*time.Second, "progress/ETA report interval (0 = quiet)")
+		metrics     = flag.Bool("metrics", false, "dump Prometheus-style sweep counters to stderr at the end")
+		metricsAddr = flag.String("metrics-addr", "", "serve live sweep metrics at http://ADDR/metrics while the sweep runs")
+		timingsPath = flag.String("timings", "", "write a per-unit stage timing CSV (experiment,stage,seconds) to this file")
+		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		dryRun      = flag.Bool("dry-run", false, "expand and print the unit grid without running it")
 	)
 	flag.Parse()
 	if *specPath == "" {
@@ -48,6 +62,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rfpsweep: -resume needs -checkpoint")
 		os.Exit(2)
 	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rfpsweep: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	raw, err := os.ReadFile(*specPath)
 	if err != nil {
@@ -99,10 +119,34 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ctx = obs.WithLogger(ctx, logger)
+
+	// -metrics-addr serves the live counters while the sweep runs, from the
+	// same registry machinery rfpsimd uses; scraping it answers "is the
+	// sweep stuck or just slow" without touching the orchestrator.
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		reg.Register(m)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		msrv := &http.Server{Addr: *metricsAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("metrics server failed", "addr", *metricsAddr, "err", err.Error())
+			}
+		}()
+		defer msrv.Close()
+		logger.Info("serving sweep metrics", "addr", *metricsAddr)
+	}
 
 	sum, runErr := sweep.Run(ctx, units, backend, opts, m)
 	if *metrics && sum != nil {
 		m.WritePrometheus(os.Stderr)
+	}
+	if *timingsPath != "" && sum != nil {
+		if err := writeTimings(*timingsPath, sum); err != nil {
+			fmt.Fprintf(os.Stderr, "rfpsweep: %v\n", err)
+		}
 	}
 	if runErr != nil {
 		if ctx.Err() != nil && *checkpoint != "" {
@@ -128,6 +172,21 @@ func main() {
 	if err := sum.WriteCSV(out); err != nil {
 		fatal(err)
 	}
+}
+
+// writeTimings dumps the per-unit stage breakdown collected during this
+// process's run. Units replayed from the checkpoint or served from a
+// daemon's cache have no timing rows — their cost was paid elsewhere.
+func writeTimings(path string, sum *sweep.Summary) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sum.WriteTimingsCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket Prometheus histogram with lock-free
+// observation: workers record latencies without contending on a mutex,
+// and the exposition renders the standard cumulative `le` buckets plus
+// _sum and _count. Buckets are chosen at construction and never change,
+// so two scrapes always describe the same schema.
+type Histogram struct {
+	name   string
+	help   string
+	bounds []float64       // ascending upper bounds; +Inf is implicit
+	counts []atomic.Uint64 // len(bounds)+1, last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds (in the metric's unit, typically seconds). It panics on a
+// non-ascending bound list — bucket schemas are compile-time decisions,
+// not runtime input.
+func NewHistogram(name, help string, bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s bounds not ascending at %d", name, i))
+		}
+	}
+	return &Histogram{
+		name:   name,
+		help:   help,
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values so far.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// WritePrometheus implements Collector.
+func (h *Histogram) WritePrometheus(w io.Writer) {
+	Header(w, h.name, "histogram", h.help)
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		Sample(w, h.name+"_bucket", fmt.Sprintf("le=%q", fmt.Sprintf("%g", b)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	Sample(w, h.name+"_bucket", `le="+Inf"`, cum)
+	Sample(w, h.name+"_sum", "", h.Sum())
+	Sample(w, h.name+"_count", "", h.Count())
+}

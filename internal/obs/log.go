@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// WithLogger returns a context carrying the logger. Layers below the API
+// boundary retrieve it with Logger instead of importing a global, so a
+// test (or a second server in the same process) can capture its own logs.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, ctxKeyLogger, l)
+}
+
+// Logger returns the context's logger (or slog.Default) with the
+// context's run ID attached as the run_id attribute. This is the one call
+// sites use — runner, sample and sweep log lines all carry the run ID the
+// API boundary minted without threading it explicitly.
+func Logger(ctx context.Context) *slog.Logger {
+	l, _ := ctx.Value(ctxKeyLogger).(*slog.Logger)
+	if l == nil {
+		l = slog.Default()
+	}
+	if id := RunID(ctx); id != "" {
+		l = l.With("run_id", id)
+	}
+	return l
+}
+
+// NewLogger builds a slog logger writing to w. format is "text" or
+// "json"; level is a slog level name ("debug", "info", "warn", "error").
+// The CLIs share it so -log-format/-log-level mean the same thing
+// everywhere.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("obs: bad log level %q (debug, info, warn or error): %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: bad log format %q (text or json)", format)
+	}
+	return slog.New(h), nil
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	runtimepprof "runtime/pprof"
+	"sync"
+)
+
+// RegisterPprof mounts the net/http/pprof handlers under /debug/pprof/ on
+// the mux. It is deliberately a separate, opt-in call (rfpsimd's -pprof
+// flag) rather than an import side effect on http.DefaultServeMux:
+// profiling endpoints expose heap contents and must never be reachable
+// unless the operator asked for them.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// cpuProfileMu serializes CPU profile captures: the Go runtime supports
+// one CPU profile at a time process-wide.
+var cpuProfileMu sync.Mutex
+
+// CaptureCPUProfile runs fn with a CPU profile written to path. The
+// runtime allows only one CPU profile at a time, so when another capture
+// is already running fn executes unprofiled and captured is false — a
+// busy worker pool degrades to sampling some jobs instead of failing
+// them. The returned error is fn's own; profile plumbing failures are
+// logged and fn still runs.
+func CaptureCPUProfile(path string, fn func() error) (captured bool, err error) {
+	if cpuProfileMu.TryLock() {
+		f, ferr := os.Create(path)
+		if ferr != nil {
+			cpuProfileMu.Unlock()
+			slog.Default().Warn("cpu profile skipped", "path", path, "err", ferr)
+			return false, fn()
+		}
+		if perr := runtimepprof.StartCPUProfile(f); perr != nil {
+			f.Close()
+			os.Remove(path)
+			cpuProfileMu.Unlock()
+			slog.Default().Warn("cpu profile skipped", "path", path, "err", perr)
+			return false, fn()
+		}
+		defer func() {
+			runtimepprof.StopCPUProfile()
+			f.Close()
+			cpuProfileMu.Unlock()
+		}()
+		return true, fn()
+	}
+	return false, fn()
+}

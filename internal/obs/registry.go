@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// Collector renders a block of metrics in the Prometheus text exposition
+// format (version 0.0.4). internal/service.Metrics, internal/sweep.Metrics
+// and Histogram all implement it, which is what lets one registry serve
+// every emitter in the process from a single /metrics endpoint.
+type Collector interface {
+	WritePrometheus(w io.Writer)
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func(w io.Writer)
+
+// WritePrometheus implements Collector.
+func (f CollectorFunc) WritePrometheus(w io.Writer) { f(w) }
+
+// Registry is the process-wide metrics registry: collectors register once
+// and /metrics renders them in registration order. Rendering order is
+// deterministic, which is what lets a golden test pin the whole
+// exposition format.
+type Registry struct {
+	mu         sync.RWMutex
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register appends a collector. Registration order is exposition order.
+func (r *Registry) Register(c Collector) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, c)
+	r.mu.Unlock()
+}
+
+// WritePrometheus renders every registered collector in order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.collectors {
+		c.WritePrometheus(w)
+	}
+}
+
+// ContentType is the exposition-format content type /metrics responds
+// with.
+const ContentType = "text/plain; version=0.0.4"
+
+// Handler returns the /metrics HTTP handler for this registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WritePrometheus(w)
+	})
+}
+
+// formatValue renders a sample value the way the pre-obs emitters did:
+// integers with %d, floats with %g — pinned by the /metrics golden tests.
+func formatValue(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return fmt.Sprintf("%g", x)
+	case float32:
+		return fmt.Sprintf("%g", x)
+	default:
+		return fmt.Sprintf("%d", x)
+	}
+}
+
+// Header writes the # HELP / # TYPE preamble of one metric family.
+func Header(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// Sample writes one sample line; labels is the raw `k="v",...` label body
+// (empty for an unlabelled sample).
+func Sample(w io.Writer, name, labels string, v any) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, formatValue(v))
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatValue(v))
+}
+
+// Gauge writes a complete single-sample gauge family.
+func Gauge(w io.Writer, name, help string, v any) {
+	Header(w, name, "gauge", help)
+	Sample(w, name, "", v)
+}
+
+// Counter writes a complete single-sample counter family.
+func Counter(w io.Writer, name, help string, v any) {
+	Header(w, name, "counter", help)
+	Sample(w, name, "", v)
+}

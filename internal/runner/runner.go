@@ -4,16 +4,22 @@
 // the single code path behind the batch CLIs (cmd/rfpsim,
 // cmd/suitestats), the experiment harness and the rfpsimd service, so
 // cancellation and determinism behave identically everywhere.
+// Observability rides on the context (internal/obs): when the caller
+// attached a timings collector the runner bills each stage's wall time
+// to it (fastforward / warmup / measure / aggregate), and per-replica
+// debug logs carry the caller's run ID.
 package runner
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"rfpsim/internal/config"
 	"rfpsim/internal/core"
 	"rfpsim/internal/isa"
+	"rfpsim/internal/obs"
 	"rfpsim/internal/stats"
 	"rfpsim/internal/trace"
 )
@@ -106,6 +112,12 @@ func (j Job) TotalUops() uint64 {
 // accumulated total is discarded and a nil Sim is returned: a Job's result
 // is all replicas or nothing, so averaged metrics can never silently mix
 // replica counts.
+//
+// Observability rides on the context: when obs.WithTimings attached a
+// collector, each stage's wall time (fastforward / warmup / measure /
+// aggregate) is added to it, and per-replica completions are logged at
+// debug level through obs.Logger, carrying whatever run ID the caller
+// minted at its API boundary.
 func Run(ctx context.Context, job Job) (*stats.Sim, error) {
 	if err := job.Config.Validate(); err != nil {
 		return nil, fmt.Errorf("runner: invalid config: %w", err)
@@ -122,6 +134,12 @@ func Run(ctx context.Context, job Job) (*stats.Sim, error) {
 	if job.Gen != nil && job.seeds() > 1 {
 		return nil, errors.New("runner: a generator override supports a single seed only")
 	}
+	tim := obs.ContextTimings(ctx)
+	observe := func(stage string, since time.Time) {
+		if tim != nil {
+			tim.Observe(stage, time.Since(since))
+		}
+	}
 	total := &stats.Sim{}
 	for s := 0; s < job.seeds(); s++ {
 		replica := job.Spec
@@ -134,20 +152,31 @@ func Run(ctx context.Context, job Job) (*stats.Sim, error) {
 		if !job.ColdCaches {
 			c.WarmCaches()
 		}
+		begin := time.Now()
 		if err := c.FastForward(ctx, job.FastForwardUops); err != nil {
 			return nil, fmt.Errorf("runner: %s seed %d fast-forward: %w", job.Spec.Name, s, err)
 		}
+		observe(obs.StageFastForward, begin)
+		begin = time.Now()
 		if err := c.Warmup(ctx, job.WarmupUops); err != nil {
 			return nil, fmt.Errorf("runner: %s seed %d warmup: %w", job.Spec.Name, s, err)
 		}
+		observe(obs.StageWarmup, begin)
 		if job.AfterWarmup != nil {
 			job.AfterWarmup(c)
 		}
+		begin = time.Now()
 		st, err := c.Run(ctx, job.MeasureUops)
 		if err != nil {
 			return nil, fmt.Errorf("runner: %s seed %d: %w", job.Spec.Name, s, err)
 		}
+		observe(obs.StageMeasure, begin)
+		begin = time.Now()
 		stats.Accumulate(total, st)
+		observe(obs.StageAggregate, begin)
+		obs.Logger(ctx).Debug("replica complete",
+			"workload", job.Spec.Name, "config", job.Config.Name,
+			"seed_index", s, "cycles", st.Cycles, "uops", st.Instructions)
 	}
 	return total, nil
 }

@@ -6,7 +6,9 @@
 // statistics are cluster-weight scaled into a full-window estimate. The
 // point is to cut cycle-simulated work by ~5x and more while staying
 // within a couple of percent of the full-run IPC, which is what makes
-// suite-wide parameter sweeps (internal/sweep) tractable.
+// suite-wide parameter sweeps (internal/sweep) tractable. The
+// profile/cluster pass bills its wall time to the "profile" stage of the
+// context's obs.Timings collector — the one stage a full run never pays.
 package sample
 
 import (

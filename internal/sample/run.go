@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
+	"rfpsim/internal/obs"
 	"rfpsim/internal/runner"
 	"rfpsim/internal/stats"
 )
@@ -107,7 +109,11 @@ func RunResult(ctx context.Context, job runner.Job) (Result, error) {
 
 	// Phase 1+2: functional profile of the measured window, clustered
 	// into the replay plan. The profiled window is the same [Warmup,
-	// Warmup+Measure) stream slice a full run would measure.
+	// Warmup+Measure) stream slice a full run would measure. The whole
+	// pass is billed to the "profile" timing stage — it is cost sampling
+	// adds that a full run never pays.
+	tim := obs.ContextTimings(ctx)
+	begin := time.Now()
 	profile, err := ProfileSpec(ctx, job.Spec, job.WarmupUops, job.MeasureUops, sp.IntervalUops)
 	if err != nil {
 		return Result{}, err
@@ -116,6 +122,12 @@ func RunResult(ctx context.Context, job runner.Job) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if tim != nil {
+		tim.Observe(obs.StageProfile, time.Since(begin))
+	}
+	obs.Logger(ctx).Debug("replay plan built",
+		"workload", job.Spec.Name, "points", len(plan.Points),
+		"intervals", plan.Intervals, "error_bound", plan.ErrorBound)
 
 	// Phase 3: weighted replay. Each representative becomes a sub-job:
 	// functionally warm up to shortly before the interval
@@ -130,8 +142,12 @@ func RunResult(ctx context.Context, job runner.Job) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
+		begin = time.Now()
 		stats.Scale(st, pt.Weight)
 		stats.Accumulate(total, st)
+		if tim != nil {
+			tim.Observe(obs.StageAggregate, time.Since(begin))
+		}
 	}
 	return Result{Stats: total, Plan: plan}, nil
 }

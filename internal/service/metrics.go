@@ -1,14 +1,17 @@
 package service
 
 import (
-	"fmt"
 	"io"
 	"sync/atomic"
+
+	"rfpsim/internal/obs"
 )
 
 // Metrics aggregates the service's observability counters. All fields are
-// atomics so workers and handlers update them without locks; the /metrics
-// endpoint renders them in the Prometheus text exposition format.
+// atomics so workers and handlers update them without locks; the block
+// implements obs.Collector and is registered, together with the job
+// latency and queue wait histograms, in the server's obs.Registry — the
+// /metrics endpoint renders that registry, nothing else.
 type Metrics struct {
 	jobsQueued  atomic.Int64 // gauge: jobs accepted but not yet running
 	jobsRunning atomic.Int64 // gauge: jobs currently simulating
@@ -25,37 +28,32 @@ type Metrics struct {
 	simBusyNanos atomic.Uint64 // total wall time workers spent simulating
 }
 
-// WritePrometheus renders the counters in the text exposition format.
+// WritePrometheus implements obs.Collector. The exposition format —
+// metric names, label sets, ordering — is pinned by a golden test
+// (TestMetricsExpositionGolden); treat any diff there as an API break for
+// fleet dashboards.
 func (m *Metrics) WritePrometheus(w io.Writer) {
 	busy := float64(m.simBusyNanos.Load()) / 1e9
 	cyclesPerSec := 0.0
 	if busy > 0 {
 		cyclesPerSec = float64(m.simCycles.Load()) / busy
 	}
-	fmt.Fprintf(w, "# HELP rfpsimd_jobs_queued Jobs accepted and waiting for a worker.\n")
-	fmt.Fprintf(w, "# TYPE rfpsimd_jobs_queued gauge\n")
-	fmt.Fprintf(w, "rfpsimd_jobs_queued %d\n", m.jobsQueued.Load())
-	fmt.Fprintf(w, "# HELP rfpsimd_jobs_running Jobs currently simulating.\n")
-	fmt.Fprintf(w, "# TYPE rfpsimd_jobs_running gauge\n")
-	fmt.Fprintf(w, "rfpsimd_jobs_running %d\n", m.jobsRunning.Load())
-	fmt.Fprintf(w, "# HELP rfpsimd_jobs_done_total Finished jobs by outcome.\n")
-	fmt.Fprintf(w, "# TYPE rfpsimd_jobs_done_total counter\n")
-	fmt.Fprintf(w, "rfpsimd_jobs_done_total{status=\"ok\"} %d\n", m.jobsOK.Load())
-	fmt.Fprintf(w, "rfpsimd_jobs_done_total{status=\"cancelled\"} %d\n", m.jobsCancelled.Load())
-	fmt.Fprintf(w, "rfpsimd_jobs_done_total{status=\"error\"} %d\n", m.jobsFailed.Load())
-	fmt.Fprintf(w, "# HELP rfpsimd_jobs_rejected_total Jobs refused with 429 because the queue was full.\n")
-	fmt.Fprintf(w, "# TYPE rfpsimd_jobs_rejected_total counter\n")
-	fmt.Fprintf(w, "rfpsimd_jobs_rejected_total %d\n", m.jobsRejected.Load())
-	fmt.Fprintf(w, "# HELP rfpsimd_cache_hits_total Requests served from the result cache.\n")
-	fmt.Fprintf(w, "# TYPE rfpsimd_cache_hits_total counter\n")
-	fmt.Fprintf(w, "rfpsimd_cache_hits_total %d\n", m.cacheHits.Load())
-	fmt.Fprintf(w, "# HELP rfpsimd_cache_misses_total Requests that had to simulate.\n")
-	fmt.Fprintf(w, "# TYPE rfpsimd_cache_misses_total counter\n")
-	fmt.Fprintf(w, "rfpsimd_cache_misses_total %d\n", m.cacheMisses.Load())
-	fmt.Fprintf(w, "# HELP rfpsimd_sim_cycles_total Simulated core cycles across all jobs.\n")
-	fmt.Fprintf(w, "# TYPE rfpsimd_sim_cycles_total counter\n")
-	fmt.Fprintf(w, "rfpsimd_sim_cycles_total %d\n", m.simCycles.Load())
-	fmt.Fprintf(w, "# HELP rfpsimd_sim_cycles_per_second Simulated cycles per wall-clock second of worker busy time.\n")
-	fmt.Fprintf(w, "# TYPE rfpsimd_sim_cycles_per_second gauge\n")
-	fmt.Fprintf(w, "rfpsimd_sim_cycles_per_second %g\n", cyclesPerSec)
+	obs.Gauge(w, "rfpsimd_jobs_queued", "Jobs accepted and waiting for a worker.", m.jobsQueued.Load())
+	obs.Gauge(w, "rfpsimd_jobs_running", "Jobs currently simulating.", m.jobsRunning.Load())
+	obs.Header(w, "rfpsimd_jobs_done_total", "counter", "Finished jobs by outcome.")
+	obs.Sample(w, "rfpsimd_jobs_done_total", `status="ok"`, m.jobsOK.Load())
+	obs.Sample(w, "rfpsimd_jobs_done_total", `status="cancelled"`, m.jobsCancelled.Load())
+	obs.Sample(w, "rfpsimd_jobs_done_total", `status="error"`, m.jobsFailed.Load())
+	obs.Counter(w, "rfpsimd_jobs_rejected_total", "Jobs refused with 429 because the queue was full.", m.jobsRejected.Load())
+	obs.Counter(w, "rfpsimd_cache_hits_total", "Requests served from the result cache.", m.cacheHits.Load())
+	obs.Counter(w, "rfpsimd_cache_misses_total", "Requests that had to simulate.", m.cacheMisses.Load())
+	obs.Counter(w, "rfpsimd_sim_cycles_total", "Simulated core cycles across all jobs.", m.simCycles.Load())
+	obs.Gauge(w, "rfpsimd_sim_cycles_per_second", "Simulated cycles per wall-clock second of worker busy time.", cyclesPerSec)
+
+	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	obs.Gauge(w, "rfpsimd_cache_hit_ratio", "Fraction of result-cache lookups served from the cache.", ratio)
 }

@@ -1,10 +1,14 @@
 // Package service implements rfpsimd, the long-running simulation daemon:
 // an HTTP API that accepts simulation jobs, runs them on a bounded worker
 // pool with backpressure, caches results by content address (simulations
-// are deterministic pure functions of their job description), and exposes
-// Prometheus-style metrics. The batch CLIs and this service share the same
-// runner code, so a job submitted over HTTP produces bit-identical
-// statistics to the same job run with cmd/rfpsim.
+// are deterministic pure functions of their job description), and emits
+// its telemetry through the shared observability layer (internal/obs):
+// every request gets a run ID that correlates the API response with every
+// log line the job produced, /metrics is served from an obs.Registry
+// holding the daemon's counters and latency histograms, and per-stage
+// timing breakdowns ride back on response headers. The batch CLIs and
+// this service share the same runner code, so a job submitted over HTTP
+// produces bit-identical statistics to the same job run with cmd/rfpsim.
 package service
 
 import (
@@ -13,16 +17,34 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
+	"rfpsim/internal/obs"
 	"rfpsim/internal/runner"
 	"rfpsim/internal/sample"
 	"rfpsim/internal/stats"
 	"rfpsim/internal/trace"
 	"rfpsim/internal/tracefile"
+)
+
+// Response headers carrying per-request observability. They are headers,
+// not body fields, because response bodies are deterministic functions of
+// the request (byte-identical on cache replay) while run IDs and wall
+// times are not.
+const (
+	// RunIDHeader carries the job's run ID on every /v1/sim response. A
+	// client may supply its own valid ID on the request (the sweep HTTP
+	// backend does) so daemon logs correlate with client logs; anything
+	// invalid is replaced by a fresh ID.
+	RunIDHeader = "X-Rfpsimd-Run-Id"
+	// TimingsHeader carries the obs.Timings wire form (per-stage
+	// wall-clock breakdown) on computed — not cache-replayed — responses.
+	TimingsHeader = "X-Rfpsimd-Timings"
 )
 
 // Options configures the daemon.
@@ -39,6 +61,17 @@ type Options struct {
 	MaxJobUops uint64
 	// DefaultTimeout applies to jobs that do not set timeout_ms (0 = none).
 	DefaultTimeout time.Duration
+	// Logger receives the daemon's structured logs (nil = slog.Default()).
+	Logger *slog.Logger
+	// Registry is the metrics registry /metrics renders; the server
+	// registers its counter block and histograms into it (nil = a fresh
+	// private registry). Pass one in to co-host additional collectors on
+	// the same endpoint.
+	Registry *obs.Registry
+	// CPUProfileDir, when set, captures a CPU profile of each executed job
+	// into <dir>/job-<runid>.pprof. The Go runtime supports one CPU
+	// profile at a time, so under a busy pool only some jobs are captured.
+	CPUProfileDir string
 }
 
 func (o Options) workers() int {
@@ -199,24 +232,30 @@ type resolvedJob struct {
 }
 
 type jobResult struct {
-	body []byte
-	st   *stats.Sim
-	err  error
+	body    []byte
+	st      *stats.Sim
+	timings *obs.Timings // per-stage breakdown of the computation, nil on error
+	err     error
 }
 
 type job struct {
 	ctx      context.Context
 	resolved *resolvedJob
+	enqueued time.Time      // when the job entered the queue (queue-wait histogram)
 	result   chan jobResult // buffered; the worker never blocks on it
 }
 
 // Server is the rfpsimd daemon state: worker pool, queue, cache, metrics.
 type Server struct {
-	opts    Options
-	queue   chan *job
-	wg      sync.WaitGroup
-	metrics *Metrics
-	cache   *resultCache
+	opts      Options
+	queue     chan *job
+	wg        sync.WaitGroup
+	metrics   *Metrics
+	cache     *resultCache
+	logger    *slog.Logger
+	registry  *obs.Registry
+	jobSecs   *obs.Histogram // wall-clock execution latency per job
+	queueWait *obs.Histogram // time between enqueue and worker pickup
 
 	mu     sync.RWMutex
 	closed bool
@@ -225,12 +264,31 @@ type Server struct {
 // New starts the worker pool and returns the server. Callers must Close it
 // to drain.
 func New(opts Options) *Server {
-	s := &Server{
-		opts:    opts,
-		queue:   make(chan *job, opts.queueDepth()),
-		metrics: &Metrics{},
-		cache:   newResultCache(opts.CacheEntries),
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
 	}
+	registry := opts.Registry
+	if registry == nil {
+		registry = obs.NewRegistry()
+	}
+	s := &Server{
+		opts:     opts,
+		queue:    make(chan *job, opts.queueDepth()),
+		metrics:  &Metrics{},
+		cache:    newResultCache(opts.CacheEntries),
+		logger:   logger,
+		registry: registry,
+		jobSecs: obs.NewHistogram("rfpsimd_job_seconds",
+			"Wall-clock execution latency of computed (non-cached) jobs.",
+			0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60),
+		queueWait: obs.NewHistogram("rfpsimd_queue_wait_seconds",
+			"Time jobs spend queued before a worker picks them up.",
+			0.0001, 0.001, 0.01, 0.1, 0.5, 1, 5, 10),
+	}
+	registry.Register(s.metrics)
+	registry.Register(s.jobSecs)
+	registry.Register(s.queueWait)
 	for i := 0; i < opts.workers(); i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -240,6 +298,10 @@ func New(opts Options) *Server {
 
 // Metrics exposes the counter block (for tests and embedding).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Registry exposes the metrics registry /metrics renders, so embedders
+// (cmd/rfpsimd) can co-host extra collectors on the same endpoint.
+func (s *Server) Registry() *obs.Registry { return s.registry }
 
 // Close drains the service: no new jobs are accepted, queued and running
 // jobs finish (their waiting handlers get results), then the workers exit.
@@ -276,24 +338,39 @@ func (s *Server) worker() {
 	for j := range s.queue {
 		s.metrics.jobsQueued.Add(-1)
 		s.metrics.jobsRunning.Add(1)
+		s.queueWait.Observe(time.Since(j.enqueued).Seconds())
 		start := time.Now()
 		res := s.execute(j.ctx, j.resolved)
-		s.metrics.simBusyNanos.Add(uint64(time.Since(start)))
+		elapsed := time.Since(start)
+		s.metrics.simBusyNanos.Add(uint64(elapsed))
+		s.jobSecs.Observe(elapsed.Seconds())
 		s.metrics.jobsRunning.Add(-1)
+		log := obs.Logger(j.ctx).With(
+			"workload", j.resolved.job.Spec.Name,
+			"config", j.resolved.job.Config.Name,
+			"elapsed", elapsed.Round(time.Microsecond))
 		switch {
 		case res.err == nil:
 			s.metrics.jobsOK.Add(1)
 			s.metrics.simCycles.Add(res.st.Cycles)
+			log.Info("job done", "status", "ok",
+				"cycles", res.st.Cycles, "timings", res.timings.String())
 		case errors.Is(res.err, context.Canceled) || errors.Is(res.err, context.DeadlineExceeded):
 			s.metrics.jobsCancelled.Add(1)
+			log.Warn("job cancelled", "status", "cancelled", "err", res.err.Error())
 		default:
 			s.metrics.jobsFailed.Add(1)
+			log.Error("job failed", "status", "error", "err", res.err.Error())
 		}
 		j.result <- res
 	}
 }
 
 // execute runs one resolved job and marshals (and caches) its response.
+// The context already carries the request's run ID and logger; a fresh
+// timings collector is attached here so runner/sample fill in the
+// per-stage breakdown, which rides back in the jobResult (and, when
+// CPUProfileDir is set, next to a job-<runid>.pprof capture).
 func (s *Server) execute(ctx context.Context, rj *resolvedJob) jobResult {
 	job := rj.job
 	if rj.traceRaw != nil {
@@ -303,7 +380,24 @@ func (s *Server) execute(ctx context.Context, rj *resolvedJob) jobResult {
 		}
 		job.Gen = r
 	}
-	res, err := sample.RunResult(ctx, job)
+	tctx, tim := obs.WithTimings(ctx)
+	var res sample.Result
+	run := func() error {
+		var err error
+		res, err = sample.RunResult(tctx, job)
+		return err
+	}
+	var err error
+	if s.opts.CPUProfileDir != "" {
+		path := filepath.Join(s.opts.CPUProfileDir, "job-"+obs.RunID(ctx)+".pprof")
+		var captured bool
+		captured, err = obs.CaptureCPUProfile(path, run)
+		if captured {
+			obs.Logger(ctx).Debug("cpu profile captured", "path", path)
+		}
+	} else {
+		err = run()
+	}
 	if err != nil {
 		return jobResult{err: err}
 	}
@@ -313,7 +407,7 @@ func (s *Server) execute(ctx context.Context, rj *resolvedJob) jobResult {
 	}
 	body = append(body, '\n')
 	s.cache.put(rj.key, body)
-	return jobResult{body: body, st: res.Stats}
+	return jobResult{body: body, st: res.Stats, timings: tim}
 }
 
 // resolve validates a request into an executable job with its cache key,
@@ -357,6 +451,15 @@ func writeJSONError(w http.ResponseWriter, code int, status, msg string) {
 }
 
 func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	// The run ID is minted (or adopted from the client) before anything
+	// can fail, so even a 400 response carries the ID its log line has.
+	runID := r.Header.Get(RunIDHeader)
+	if !obs.ValidRunID(runID) {
+		runID = obs.NewRunID()
+	}
+	w.Header().Set(RunIDHeader, runID)
+	log := s.logger.With("run_id", runID)
+
 	if r.Method != http.MethodPost {
 		writeJSONError(w, http.StatusMethodNotAllowed, "invalid", "POST only")
 		return
@@ -370,20 +473,28 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	}
 	rj, err := s.resolve(req)
 	if err != nil {
+		log.Debug("request rejected", "status", "invalid", "err", err.Error())
 		writeJSONError(w, http.StatusBadRequest, "invalid", err.Error())
 		return
 	}
 
 	if body, ok := s.cache.get(rj.key); ok {
 		s.metrics.cacheHits.Add(1)
+		log.Info("job served from cache",
+			"workload", rj.job.Spec.Name, "config", rj.job.Config.Name, "key", rj.key[:12])
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Rfpsimd-Cache", "hit")
 		w.Write(body)
 		return
 	}
 	s.metrics.cacheMisses.Add(1)
+	log.Info("job accepted",
+		"workload", rj.job.Spec.Name, "config", rj.job.Config.Name,
+		"key", rj.key[:12], "total_uops", rj.job.TotalUops())
 
-	ctx := r.Context() // client disconnect cancels the job
+	// Client disconnect cancels the job; the run ID and logger ride the
+	// same context into the worker, runner and sample layers.
+	ctx := obs.WithLogger(obs.WithRunID(r.Context(), runID), s.logger)
 	if req.TimeoutMS > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
@@ -394,7 +505,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	j := &job{ctx: ctx, resolved: rj, result: make(chan jobResult, 1)}
+	j := &job{ctx: ctx, resolved: rj, enqueued: time.Now(), result: make(chan jobResult, 1)}
 	if ok, draining := s.enqueue(j); !ok {
 		s.metrics.jobsRejected.Add(1)
 		if draining {
@@ -414,6 +525,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	case res.err == nil:
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Rfpsimd-Cache", "miss")
+		w.Header().Set(TimingsHeader, res.timings.String())
 		w.Write(res.body)
 	case errors.Is(res.err, context.Canceled) || errors.Is(res.err, context.DeadlineExceeded):
 		writeJSONError(w, http.StatusRequestTimeout, "cancelled", res.err.Error())
@@ -461,6 +573,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.WritePrometheus(w)
+	s.registry.Handler().ServeHTTP(w, r)
 }

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"rfpsim/internal/obs"
 	"rfpsim/internal/service"
 )
 
@@ -239,6 +240,12 @@ func (b *HTTPBackend) post(ctx context.Context, e *endpoint, body []byte) (*serv
 		return nil, errPermanent{err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Forward the unit's run ID so the daemon's job logs carry the same
+	// ID as the orchestrator's unit logs — one grep follows a unit across
+	// both processes.
+	if id := obs.RunID(ctx); id != "" {
+		req.Header.Set(service.RunIDHeader, id)
+	}
 	start := time.Now()
 	resp, err := b.client.Do(req)
 	if b.opts.Metrics != nil {
@@ -264,6 +271,17 @@ func (b *HTTPBackend) post(ctx context.Context, e *endpoint, body []byte) (*serv
 		if jsonErr := json.Unmarshal(raw, &sr); jsonErr != nil {
 			err = fmt.Errorf("%s: bad response body: %w", e.url, jsonErr)
 			return nil, err
+		}
+		// A computed response carries the daemon's per-stage timing
+		// breakdown in a header (cache replays do not — the cost was paid
+		// by an earlier request). Merge it into the caller's collector so
+		// sweep timing CSVs work identically across backends.
+		if t := obs.ContextTimings(ctx); t != nil {
+			if h := resp.Header.Get(service.TimingsHeader); h != "" {
+				if parsed, perr := obs.ParseTimings(h); perr == nil {
+					t.Merge(parsed)
+				}
+			}
 		}
 		e.markSuccess()
 		return &sr, nil

@@ -7,11 +7,15 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rfpsim/internal/obs"
 )
 
-// Metrics aggregates the orchestrator's observability counters in the
-// same Prometheus text style the rfpsimd daemon exposes: units by
-// outcome, retries, and per-backend request latency.
+// Metrics aggregates the orchestrator's observability counters: units by
+// outcome, retries, and per-backend request latency. It implements
+// obs.Collector, so cmd/rfpsweep registers it in an obs.Registry and
+// serves it over HTTP (-metrics-addr) exactly the way rfpsimd serves its
+// own block; the exposition format is pinned by a golden test.
 type Metrics struct {
 	total   atomic.Uint64 // gauge: units in the sweep
 	done    atomic.Uint64 // counter: units completed this run
@@ -61,21 +65,14 @@ func (m *Metrics) observe(backend string, d time.Duration, failed bool) {
 	bs.latencyNanos += uint64(d)
 }
 
-// WritePrometheus renders the counters in the text exposition format.
+// WritePrometheus implements obs.Collector (text exposition format).
 func (m *Metrics) WritePrometheus(w io.Writer) {
-	fmt.Fprintf(w, "# HELP rfpsweep_units_total Units in the expanded sweep grid.\n")
-	fmt.Fprintf(w, "# TYPE rfpsweep_units_total gauge\n")
-	fmt.Fprintf(w, "rfpsweep_units_total %d\n", m.total.Load())
-	fmt.Fprintf(w, "# HELP rfpsweep_units_done_total Units completed, by how.\n")
-	fmt.Fprintf(w, "# TYPE rfpsweep_units_done_total counter\n")
-	fmt.Fprintf(w, "rfpsweep_units_done_total{how=\"run\"} %d\n", m.done.Load())
-	fmt.Fprintf(w, "rfpsweep_units_done_total{how=\"checkpoint\"} %d\n", m.skipped.Load())
-	fmt.Fprintf(w, "# HELP rfpsweep_units_failed_total Units that exhausted their retries.\n")
-	fmt.Fprintf(w, "# TYPE rfpsweep_units_failed_total counter\n")
-	fmt.Fprintf(w, "rfpsweep_units_failed_total %d\n", m.failed.Load())
-	fmt.Fprintf(w, "# HELP rfpsweep_unit_retries_total Extra backend attempts beyond each unit's first.\n")
-	fmt.Fprintf(w, "# TYPE rfpsweep_unit_retries_total counter\n")
-	fmt.Fprintf(w, "rfpsweep_unit_retries_total %d\n", m.retried.Load())
+	obs.Gauge(w, "rfpsweep_units_total", "Units in the expanded sweep grid.", m.total.Load())
+	obs.Header(w, "rfpsweep_units_done_total", "counter", "Units completed, by how.")
+	obs.Sample(w, "rfpsweep_units_done_total", `how="run"`, m.done.Load())
+	obs.Sample(w, "rfpsweep_units_done_total", `how="checkpoint"`, m.skipped.Load())
+	obs.Counter(w, "rfpsweep_units_failed_total", "Units that exhausted their retries.", m.failed.Load())
+	obs.Counter(w, "rfpsweep_unit_retries_total", "Extra backend attempts beyond each unit's first.", m.retried.Load())
 
 	m.mu.Lock()
 	names := make([]string, 0, len(m.backends))
@@ -83,20 +80,17 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	fmt.Fprintf(w, "# HELP rfpsweep_backend_requests_total Requests per backend endpoint.\n")
-	fmt.Fprintf(w, "# TYPE rfpsweep_backend_requests_total counter\n")
+	obs.Header(w, "rfpsweep_backend_requests_total", "counter", "Requests per backend endpoint.")
 	for _, n := range names {
-		fmt.Fprintf(w, "rfpsweep_backend_requests_total{backend=%q} %d\n", n, m.backends[n].requests)
+		obs.Sample(w, "rfpsweep_backend_requests_total", fmt.Sprintf("backend=%q", n), m.backends[n].requests)
 	}
-	fmt.Fprintf(w, "# HELP rfpsweep_backend_errors_total Failed requests per backend endpoint.\n")
-	fmt.Fprintf(w, "# TYPE rfpsweep_backend_errors_total counter\n")
+	obs.Header(w, "rfpsweep_backend_errors_total", "counter", "Failed requests per backend endpoint.")
 	for _, n := range names {
-		fmt.Fprintf(w, "rfpsweep_backend_errors_total{backend=%q} %d\n", n, m.backends[n].errors)
+		obs.Sample(w, "rfpsweep_backend_errors_total", fmt.Sprintf("backend=%q", n), m.backends[n].errors)
 	}
-	fmt.Fprintf(w, "# HELP rfpsweep_backend_latency_seconds_sum Cumulative request latency per backend endpoint.\n")
-	fmt.Fprintf(w, "# TYPE rfpsweep_backend_latency_seconds_sum counter\n")
+	obs.Header(w, "rfpsweep_backend_latency_seconds_sum", "counter", "Cumulative request latency per backend endpoint.")
 	for _, n := range names {
-		fmt.Fprintf(w, "rfpsweep_backend_latency_seconds_sum{backend=%q} %g\n", n, float64(m.backends[n].latencyNanos)/1e9)
+		obs.Sample(w, "rfpsweep_backend_latency_seconds_sum", fmt.Sprintf("backend=%q", n), float64(m.backends[n].latencyNanos)/1e9)
 	}
 	m.mu.Unlock()
 }

@@ -5,10 +5,12 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"time"
 
 	"rfpsim/internal/experiments"
+	"rfpsim/internal/obs"
 	"rfpsim/internal/service"
 )
 
@@ -56,6 +58,14 @@ type Summary struct {
 	// Results maps unit key to result for every completed unit (including
 	// checkpoint-replayed ones).
 	Results map[string]*service.SimResponse
+	// Timings maps unit key to the per-stage wall-clock breakdown of
+	// units executed by THIS run — checkpoint-replayed units have none
+	// (their cost was paid by an earlier run). Local-backend timings come
+	// straight from the runner; HTTP-backend timings are the executing
+	// daemon's, parsed from the response header. Timings are telemetry
+	// and deliberately kept out of Results, the checkpoint journal and
+	// the aggregate CSV, all of which are pinned deterministic.
+	Timings map[string]*obs.Timings
 	// Skipped counts units satisfied by the checkpoint.
 	Skipped int
 	// Failed lists units that exhausted their retries.
@@ -76,7 +86,11 @@ func Run(ctx context.Context, units []Unit, backend Backend, opts Options, m *Me
 		m = &Metrics{}
 	}
 	m.total.Store(uint64(len(units)))
-	sum := &Summary{Units: units, Results: make(map[string]*service.SimResponse, len(units))}
+	sum := &Summary{
+		Units:   units,
+		Results: make(map[string]*service.SimResponse, len(units)),
+		Timings: make(map[string]*obs.Timings, len(units)),
+	}
 
 	if opts.Resume && opts.CheckpointPath != "" {
 		st, err := LoadCheckpoint(opts.CheckpointPath)
@@ -167,19 +181,30 @@ func Run(ctx context.Context, units []Unit, backend Backend, opts Options, m *Me
 				return
 			}
 			defer func() { <-sem }()
-			resp, err := backend.Run(ctx, u)
+			// Each unit gets its own run ID and timings collector. The
+			// local backend's runner fills the collector through the
+			// context; the HTTP backend forwards the ID to the daemon
+			// (whose logs then correlate with ours) and merges the
+			// daemon's timings header back into the collector.
+			uctx, tim := obs.WithTimings(obs.WithRunID(ctx, obs.NewRunID()))
+			ulog := obs.Logger(uctx).With("unit", u.Label, "key", u.Key[:12])
+			ulog.Debug("unit start", "backend", backend.Name())
+			resp, err := backend.Run(uctx, u)
 			if err != nil {
 				if ctx.Err() != nil {
 					return // cancelled, not failed: the unit stays pending
 				}
+				ulog.Warn("unit failed", "err", err.Error())
 				m.failed.Add(1)
 				mu.Lock()
 				sum.Failed = append(sum.Failed, UnitError{Unit: u, Err: err})
 				mu.Unlock()
 				return
 			}
+			ulog.Debug("unit done", "ipc", resp.IPC, "timings", tim.String())
 			mu.Lock()
 			sum.Results[u.Key] = resp
+			sum.Timings[u.Key] = tim
 			var jerr error
 			if journal != nil {
 				jerr = journal.Record(u, resp)
@@ -232,6 +257,34 @@ func (s *Summary) WriteCSV(w io.Writer) error {
 			{u.Label, "instructions", experiments.FormatCount(resp.Instructions)},
 		}
 		for _, row := range rows {
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTimingsCSV renders the per-stage wall-clock breakdown of every
+// unit this run executed, as experiment,stage,seconds rows in grid order
+// with stages in pipeline order. Unlike WriteCSV this output is NOT
+// deterministic — it measures this run's wall time — which is exactly why
+// it lives in a separate file (rfpsweep -timings) instead of the pinned
+// aggregate CSV.
+func (s *Summary) WriteTimingsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"experiment", "stage", "seconds"}); err != nil {
+		return err
+	}
+	for _, u := range s.Units {
+		tim, ok := s.Timings[u.Key]
+		if !ok {
+			continue // checkpoint-replayed or failed: no cost paid this run
+		}
+		for _, stage := range obs.Stages() {
+			row := []string{u.Label, stage,
+				strconv.FormatFloat(tim.Stage(stage).Seconds(), 'f', 6, 64)}
 			if err := cw.Write(row); err != nil {
 				return err
 			}

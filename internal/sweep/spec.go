@@ -6,6 +6,13 @@
 // of rfpsimd endpoints), journals every completed unit to an append-only
 // JSONL checkpoint so a crashed sweep resumes where it stopped, and
 // aggregates the results into the CSV schema cmd/experiments emits.
+//
+// Observability goes through internal/obs: each unit gets a run ID that
+// the HTTP backend forwards to the executing daemon (so one ID follows a
+// unit across processes), per-stage timing breakdowns are collected into
+// Summary.Timings for the optional -timings CSV, and the Metrics block
+// implements obs.Collector so -metrics-addr serves it from the same
+// registry machinery rfpsimd uses. See docs/observability.md.
 package sweep
 
 import (
