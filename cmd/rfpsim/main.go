@@ -7,8 +7,16 @@
 //	rfpsim -workload spec06_mcf [-rfp] [-vp eves|dlvp|composite|epp]
 //	       [-oracle l1|l2|llc|mem] [-2x] [-warmup N] [-measure N] [-seed S]
 //	       [-sample] [-sample-interval N] [-sample-maxk K] [-sample-warmup N]
-//	       [-v] [-cpuprofile out.pprof]
+//	       [-checks] [-v] [-cpuprofile out.pprof]
+//	rfpsim -workload all -diff norfp [-measure N] [-diff-interval N]
 //	rfpsim -listworkloads
+//
+// -diff runs the differential correctness harness (docs/checking.md):
+// the flag-built configuration is paired against a derived baseline
+// (norfp, novp, nolatealloc, baseline, or full for sampled-vs-full) and
+// the committed architectural traces are compared; any divergence is
+// localized to its first divergent interval and uop and exits non-zero.
+// -checks enables the runtime invariant layer on a normal run.
 //
 // -v turns on debug logging and prints a per-stage wall-time breakdown
 // (fast-forward / warmup / measure / aggregate, plus profile under
@@ -17,6 +25,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -25,8 +34,10 @@ import (
 	"os/signal"
 	"syscall"
 
+	"rfpsim/internal/check"
 	"rfpsim/internal/config"
 	"rfpsim/internal/core"
+	"rfpsim/internal/isa"
 	"rfpsim/internal/obs"
 	"rfpsim/internal/runner"
 	"rfpsim/internal/sample"
@@ -53,6 +64,11 @@ func main() {
 		ptEntries = flag.Int("ptentries", 1024, "RFP Prefetch Table entries")
 		pipeTrace = flag.Uint64("pipetrace", 0, "stream N cycles of pipeline events to stderr (after warmup)")
 		profile   = flag.Bool("profile", false, "print per-PC load profile (top 15) after the run")
+
+		lateAlloc = flag.Bool("latealloc", false, "late register allocation (§3.3 pipeline variation)")
+		doChecks  = flag.Bool("checks", false, "enable the runtime invariant layer (docs/checking.md)")
+		diffMode  = flag.String("diff", "", "differential harness: norfp, novp, nolatealloc, baseline or full")
+		diffIntvl = flag.Uint64("diff-interval", 0, "divergence-localization interval in uops (0 = default 1000)")
 
 		doSample  = flag.Bool("sample", false, "SimPoint-style sampled simulation (see docs/sampling.md)")
 		sInterval = flag.Uint64("sample-interval", 0, "sampling interval length in uops (0 = default 2000)")
@@ -115,11 +131,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -oracle %q\n", *oracle)
 		os.Exit(2)
 	}
+	if *lateAlloc {
+		cfg.LateRegAlloc = true
+		cfg.Name += "+latealloc"
+	}
+	cfg.Checks.Enabled = *doChecks
 
 	// Ctrl-C / SIGTERM cancels the in-flight simulation promptly instead
 	// of leaving it to run to completion.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *diffMode != "" {
+		var sp *runner.Sampling
+		if *doSample {
+			sp = &runner.Sampling{IntervalUops: *sInterval, MaxK: *sMaxK, WarmupUops: *sWarmup}
+		}
+		code := runDiff(ctx, cfg, *diffMode, *workload, *traceFile, *measure, *diffIntvl, sp)
+		stop()
+		os.Exit(code)
+	}
 
 	job := runner.Job{
 		Config:      cfg,
@@ -205,6 +236,83 @@ func main() {
 	}
 }
 
+// runDiff executes the differential harness (docs/checking.md) for one
+// workload, a trace file, or — with -workload all — the whole catalog,
+// and returns the process exit code: 0 when every pairing commits an
+// identical architectural trace with zero invariant violations, 1 on
+// any divergence or violation, 2 on usage errors.
+func runDiff(ctx context.Context, variant config.Core, mode, workload, traceFile string, measure, interval uint64, sampling *runner.Sampling) int {
+	base, sampledVsFull, err := check.BaseFor(mode, variant)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	d := check.Differential{
+		Base: base, Variant: variant,
+		Uops: measure, IntervalUops: interval,
+	}
+	switch {
+	case sampledVsFull:
+		sp := runner.Sampling{}
+		if sampling != nil {
+			sp = *sampling
+		}
+		d.VariantSampling = &sp
+	case sampling != nil:
+		fmt.Fprintln(os.Stderr, "-sample only pairs with -diff full (the sampled-vs-full comparison)")
+		return 2
+	}
+
+	var specs []trace.Spec
+	switch {
+	case traceFile != "":
+		// Both sides (and any retry) need a fresh generator over the
+		// identical stream, so the file is read once and re-decoded per
+		// side.
+		data, err := os.ReadFile(traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if _, err := tracefile.NewReader(bytes.NewReader(data), traceFile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		d.NewGen = func() isa.Generator {
+			r, err := tracefile.NewReader(bytes.NewReader(data), traceFile)
+			if err != nil { // validated above; cannot recur
+				panic(err)
+			}
+			return r
+		}
+		specs = []trace.Spec{{Name: traceFile, Category: "trace-file"}}
+	case workload == "all":
+		specs = trace.Catalog()
+	default:
+		spec, ok := trace.ByName(workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q (use -listworkloads)\n", workload)
+			return 2
+		}
+		specs = []trace.Spec{spec}
+	}
+
+	exit := 0
+	for _, spec := range specs {
+		d.Spec = spec
+		res, err := d.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "diff failed: %v\n", err)
+			return 1
+		}
+		fmt.Println(res)
+		if res.Diverged || res.BaseViolations != 0 || res.VariantViolations != 0 {
+			exit = 1
+		}
+	}
+	return exit
+}
+
 func printStats(cfgName string, spec trace.Spec, st *stats.Sim) {
 	fmt.Printf("workload   %s\nconfig     %s\n", spec, cfgName)
 	fmt.Printf("cycles     %d\nuops       %d\nIPC        %.3f\n", st.Cycles, st.Instructions, st.IPC())
@@ -226,5 +334,14 @@ func printStats(cfgName string, spec trace.Spec, st *stats.Sim) {
 	if st.VP.Predicted > 0 {
 		fmt.Printf("VP         predicted %s of loads, mispredicted %d (flushes %d)\n",
 			stats.Pct(st.VPCoverage()), st.VP.Mispredicted, st.VPFlushes)
+	}
+	if st.Checks.Total() > 0 {
+		fmt.Printf("CHECKS     %d invariant violations:", st.Checks.Total())
+		st.Checks.Each(func(name string, count uint64) {
+			if count > 0 {
+				fmt.Printf(" %s=%d", name, count)
+			}
+		})
+		fmt.Println()
 	}
 }

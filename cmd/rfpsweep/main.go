@@ -18,12 +18,19 @@
 // byte-deterministic) aggregate CSV; -metrics-addr serves the sweep's live
 // Prometheus counters over HTTP for the duration of the run. See
 // docs/observability.md.
+//
+// A spec with "mode": "check_diff" runs the differential correctness
+// oracle (docs/checking.md) over the grid instead of simulations: each
+// configuration is paired against its diff_mode-derived base, committed
+// digests are compared, and the exit status gates on zero divergence and
+// zero invariant violations. In-process only; no checkpoint/resume.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
@@ -77,6 +84,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// mode "check_diff" runs the differential oracle over the grid
+	// instead of plain simulations: in-process only (both sides of every
+	// pair must run in one process to compare digests), no checkpointing.
+	if spec.CheckDiff() {
+		if *endpoints != "" || *checkpoint != "" || *resume || *timingsPath != "" {
+			fmt.Fprintln(os.Stderr, "rfpsweep: mode check_diff runs in-process only (no -endpoints, -checkpoint, -resume or -timings)")
+			os.Exit(2)
+		}
+		runCheckDiff(spec, *outPath, *parallel, *dryRun, *progress > 0, *metrics, *metricsAddr, logger)
+		return
+	}
+
 	units, err := spec.Expand()
 	if err != nil {
 		fatal(err)
@@ -171,6 +191,76 @@ func main() {
 	}
 	if err := sum.WriteCSV(out); err != nil {
 		fatal(err)
+	}
+}
+
+// runCheckDiff executes a mode "check_diff" sweep: every grid point's
+// configuration is paired against its diff-mode base and the committed
+// digests compared (see docs/checking.md). Exits 0 only when every
+// pairing is identical and violation-free, so CI can gate on it.
+func runCheckDiff(spec *sweep.Spec, outPath string, parallel int, dryRun, progress, metrics bool, metricsAddr string, logger *slog.Logger) {
+	units, err := spec.ExpandDiff()
+	if err != nil {
+		fatal(err)
+	}
+	if dryRun {
+		for _, u := range units {
+			fmt.Println(u.Label)
+		}
+		fmt.Fprintf(os.Stderr, "rfpsweep: %d diff units\n", len(units))
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx = obs.WithLogger(ctx, logger)
+
+	m := &sweep.Metrics{}
+	if metricsAddr != "" {
+		reg := obs.NewRegistry()
+		reg.Register(m)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		msrv := &http.Server{Addr: metricsAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("metrics server failed", "addr", metricsAddr, "err", err.Error())
+			}
+		}()
+		defer msrv.Close()
+		logger.Info("serving sweep metrics", "addr", metricsAddr)
+	}
+
+	var progressW io.Writer
+	if progress {
+		progressW = os.Stderr
+	}
+	sum, runErr := sweep.RunCheckDiff(ctx, units, parallel, m, progressW)
+	if metrics && sum != nil {
+		m.WritePrometheus(os.Stderr)
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+
+	out := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		out = f
+	}
+	if err := sum.WriteCSV(out); err != nil {
+		fatal(err)
+	}
+	if !sum.Clean() {
+		fatal(fmt.Errorf("check_diff found divergence or invariant violations (see output above)"))
 	}
 }
 

@@ -1,0 +1,138 @@
+package check
+
+import (
+	"context"
+	"testing"
+
+	"rfpsim/internal/config"
+	"rfpsim/internal/core"
+	"rfpsim/internal/isa"
+	"rfpsim/internal/trace"
+)
+
+// rfpBaitGen is a deterministic kernel engineered to make a prefetch
+// with broken memory disambiguation deliver stale data. Every iteration:
+//
+//	div   r1 <- r1          ; 18-cycle chain delays the store's data
+//	store [W_i] <- r1       ; W_i strides by 64 — a fresh word each time
+//	alu   r3 <- r3
+//	load  r2 <- [W_i]       ; fixed PC, perfectly strided
+//	load  r4 <- [R_i]       ; second strided PC, never stored — its
+//	                        ; prefetches are consumed cleanly, proving
+//	                        ; the control run exercises consumption
+//
+// The load's Prefetch Table entry saturates quickly (stride 64, one
+// instance in flight), so RFP fires at rename — while the older store
+// to the SAME word is still waiting on the divide. Correct §3.2.1
+// machinery keeps this safe three ways: the older-store scan, the
+// issueStore stale-marking pass, and the ordering-violation flush.
+// FaultRFPNoDisambiguation disables all three, so the load retires with
+// pre-store memory — which the harness must catch.
+type rfpBaitGen struct {
+	i   uint64
+	sub int
+}
+
+const (
+	baitBase   = uint64(0x10000)
+	baitBase2  = uint64(0x80000)
+	baitStride = 64
+	baitIters  = 1024
+)
+
+func (g *rfpBaitGen) Name() string { return "rfp-bait" }
+
+func (g *rfpBaitGen) FootprintRegions() [][2]uint64 {
+	return [][2]uint64{
+		{baitBase, baitIters * baitStride},
+		{baitBase2, baitIters * baitStride},
+	}
+}
+
+func (g *rfpBaitGen) Next(op *isa.MicroOp) bool {
+	w := baitBase + (g.i%baitIters)*baitStride
+	val := g.i + 1
+	*op = isa.MicroOp{PC: 0x400000 + uint64(g.sub)*4}
+	switch g.sub {
+	case 0:
+		op.Class, op.Dst, op.Src1 = isa.OpDiv, 1, 1
+	case 1:
+		op.Class, op.Src1, op.Addr, op.Size, op.Value = isa.OpStore, 1, w, 8, val
+	case 2:
+		op.Class, op.Dst, op.Src1 = isa.OpALU, 3, 3
+	case 3:
+		op.Class, op.Dst, op.Addr, op.Size, op.Value = isa.OpLoad, 2, w, 8, val
+	case 4:
+		r := baitBase2 + (g.i%baitIters)*baitStride
+		op.Class, op.Dst, op.Addr, op.Size, op.Value = isa.OpLoad, 4, r, 8, g.i*3
+	}
+	g.sub++
+	if g.sub == 5 {
+		g.sub = 0
+		g.i++
+	}
+	return true
+}
+
+// baitDiff pairs a clean RFP run against the same configuration with
+// the named faults injected on the variant side.
+func baitDiff(faults []string) Differential {
+	cfg := config.Baseline().WithRFP()
+	variant := cfg
+	if len(faults) > 0 {
+		variant.Name += "+fault"
+	}
+	return Differential{
+		Base: cfg, Variant: variant,
+		Spec:          trace.Spec{Name: "rfp-bait", Category: "synthetic"},
+		NewGen:        func() isa.Generator { return &rfpBaitGen{} },
+		Uops:          8000,
+		VariantFaults: faults,
+	}
+}
+
+// TestFaultFreeBaitIsClean establishes the control: without the
+// injected fault the bait kernel commits identically with the full
+// disambiguation machinery engaged, no invariant fires, and prefetches
+// are actually consumed (the test exercises what it claims to).
+func TestFaultFreeBaitIsClean(t *testing.T) {
+	t.Parallel()
+	res := requireClean(t, baitDiff(nil))
+	if res.VariantStats.RFP.Executed == 0 {
+		t.Fatal("bait kernel executed no prefetches — the fault test would be vacuous")
+	}
+	if res.VariantStats.RFP.Useful == 0 {
+		t.Fatal("bait kernel consumed no prefetched data — the fault test would be vacuous")
+	}
+}
+
+// TestInjectedFaultCaughtByBothOracles is the acceptance check of
+// docs/checking.md: skipping the RFP store-queue disambiguation must be
+// caught BOTH by the differential digest oracle (the committed trace
+// diverges from the clean run) AND by a runtime invariant
+// (StaleDataDelivered counts loads that retired with pre-store data).
+func TestInjectedFaultCaughtByBothOracles(t *testing.T) {
+	t.Parallel()
+	res, err := baitDiff([]string{core.FaultRFPNoDisambiguation}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Diverged {
+		t.Fatalf("differential oracle missed the injected fault: %s", res)
+	}
+	if res.VariantStats.Checks.StaleDataDelivered == 0 {
+		t.Fatalf("StaleDataDelivered invariant missed the injected fault: %s", res)
+	}
+	if res.BaseViolations != 0 {
+		t.Fatalf("clean base side reported violations: %s", res)
+	}
+}
+
+// TestInjectFaultUnknownName keeps the fault registry honest.
+func TestInjectFaultUnknownName(t *testing.T) {
+	t.Parallel()
+	d := baitDiff([]string{"no-such-fault"})
+	if _, err := d.Run(context.Background()); err == nil {
+		t.Fatal("expected an error for an unknown fault name")
+	}
+}

@@ -1,0 +1,38 @@
+package check
+
+import (
+	"testing"
+
+	"rfpsim/internal/config"
+	"rfpsim/internal/trace"
+)
+
+// TestRFPInvarianceAcrossCatalog is the tier-1 semantics suite: for
+// EVERY workload in the Table 3 catalog, running with register file
+// prefetching on must commit a byte-identical architectural trace to
+// running with it off — RFP is a timing optimization and nothing else
+// (the paper's core claim of architectural invisibility). The runtime
+// invariant layer is active on both sides, so any violation of the
+// microarchitectural contracts (docs/checking.md) fails the suite even
+// when the digests happen to agree.
+func TestRFPInvarianceAcrossCatalog(t *testing.T) {
+	t.Parallel()
+	variant := config.Baseline().WithRFP()
+	base, _, err := BaseFor("norfp", variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range trace.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res := requireClean(t, Differential{
+				Base: base, Variant: variant,
+				Spec: mustSpec(t, name), Uops: 3000,
+			})
+			if res.VariantStats.Loads == 0 {
+				t.Fatal("variant retired no loads — the comparison is vacuous")
+			}
+		})
+	}
+}

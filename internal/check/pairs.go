@@ -1,0 +1,61 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"rfpsim/internal/config"
+)
+
+// Modes are the named -diff pairings: each derives the BASE
+// configuration from the configuration under test (the variant).
+//
+//	norfp       — variant with RFP disabled (RFP-invariance)
+//	novp        — variant with value prediction disabled
+//	nolatealloc — variant with late register allocation disabled
+//	baseline    — the plain Baseline/Baseline2x core (every mechanism off)
+//	full        — the same configuration run full-window; the variant
+//	              side runs sampled (requires a sampling spec)
+func Modes() []string {
+	return []string{"norfp", "novp", "nolatealloc", "baseline", "full"}
+}
+
+// BaseFor derives the base configuration for a named diff mode.
+// sampledVsFull reports that the caller must run the variant sampled
+// (mode "full").
+func BaseFor(mode string, variant config.Core) (base config.Core, sampledVsFull bool, err error) {
+	switch mode {
+	case "norfp":
+		base = variant
+		base.RFP.Enabled = false
+		base.Name = strings.ReplaceAll(base.Name, "+rfp", "")
+		if base.Name == variant.Name {
+			base.Name += "-norfp"
+		}
+		return base, false, nil
+	case "novp":
+		base = variant
+		base.VP.Mode = config.VPNone
+		base.Name += "-novp"
+		return base, false, nil
+	case "nolatealloc":
+		base = variant
+		base.LateRegAlloc = false
+		base.Name += "-nolatealloc"
+		return base, false, nil
+	case "baseline":
+		base = variant
+		base.RFP.Enabled = false
+		base.VP.Mode = config.VPNone
+		base.Oracle = config.OracleNone
+		base.LateRegAlloc = false
+		base.Name = variant.Name + "-stripped"
+		return base, false, nil
+	case "full":
+		base = variant
+		base.Name += "-full"
+		return base, true, nil
+	}
+	return config.Core{}, false, fmt.Errorf("check: unknown diff mode %q (supported: %s)",
+		mode, strings.Join(Modes(), ", "))
+}

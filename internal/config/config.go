@@ -80,6 +80,20 @@ type Core struct {
 	// Figure 1: all hits at level N are served at the latency of level
 	// N-1.
 	Oracle OracleMode
+
+	// Checks configures the opt-in runtime invariant layer
+	// (docs/checking.md). It is timing-invisible: enabling it changes no
+	// simulated cycle, only whether violations are counted.
+	Checks Checks
+}
+
+// Checks configures the runtime invariant layer evaluated inside
+// core.step and internal/rfp. Violations are counted into
+// stats.Sim.Checks rather than panicking, so a long sweep reports a
+// broken invariant instead of dying mid-grid.
+type Checks struct {
+	// Enabled turns the invariant checks on.
+	Enabled bool
 }
 
 // MemConfig describes the cache and memory hierarchy.

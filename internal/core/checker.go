@@ -1,0 +1,325 @@
+package core
+
+import "rfpsim/internal/isa"
+
+// This file is the core half of the differential-correctness harness
+// (docs/checking.md). It has two responsibilities, both opt-in and both
+// timing-invisible — enabling them changes no simulated cycle:
+//
+//   - A commit digest: a 64-bit FNV-1a content hash per retired uop over
+//     the architecturally visible fields (PC, class, registers, address,
+//     branch outcome, value), plus — for loads — the value the modelled
+//     datapath actually DELIVERED. internal/check compares digest streams
+//     across paired configs (RFP on/off, VP on/off, sampled vs full) and
+//     localizes a mismatch to the first divergent interval and uop.
+//
+//   - Runtime invariant checks (config.Checks): violations of the
+//     paper's microarchitectural contracts are counted into
+//     stats.Sim.Checks instead of panicking, so a sweep surfaces a broken
+//     invariant as rfpsim_check_violations_total rather than dying.
+//
+// Why a delivered-value model at all: this simulator is trace-driven, so
+// committed values come from the generator by fiat and a data-corruption
+// bug (say, a prefetch consuming pre-store memory because the §3.2.1
+// older-store scan was skipped) would never show up in committed values
+// alone. The checker therefore shadows the memory the datapath reads:
+// store issue appends a (seq, value) version to its 8-byte word (stores
+// write the L1 at issue in this model), and every datapath read — demand
+// cache read, store forward, RFP port grant — records which version the
+// load consumed. At retirement all older stores have retired, so a
+// correctly disambiguated load's delivered value provably equals the
+// youngest program-order-preceding store's value (retiredMem); anything
+// else is stale data, counted as StaleDataDelivered and folded into the
+// digest so the differential oracle diverges too.
+type checker struct {
+	// invariants enables the structural runtime checks (config.Checks);
+	// value tracking and the digest run whenever the checker exists.
+	invariants bool
+	digest     *CommitDigest
+
+	// issued holds, per 8-byte word, the store versions the datapath can
+	// observe, sorted by dispatch sequence. retired holds the youngest
+	// retired (program-order) store value per word.
+	issued  map[uint64][]memVersion
+	retired map[uint64]uint64
+
+	// ptInflight is the core-side Prefetch Table in-flight balance:
+	// +1 per Allocate at dispatch, -1 per commit or squash of a
+	// PT-allocated load. Going negative means a double decrement.
+	ptInflight int64
+	// ptUnderflowSeen is the last polled value of the rfp-side
+	// decrement-at-zero counter.
+	ptUnderflowSeen uint64
+}
+
+// memVersion is one store's write to a word, visible to loads with a
+// larger dispatch sequence once the store has issued.
+type memVersion struct {
+	seq uint64
+	val uint64
+}
+
+func newChecker(invariants bool) *checker {
+	return &checker{
+		invariants: invariants,
+		issued:     make(map[uint64][]memVersion),
+		retired:    make(map[uint64]uint64),
+	}
+}
+
+// ckWord is the granularity at which the checker shadows memory — the
+// same aligned 8-byte word the LSQ disambiguates at (sameWord).
+func ckWord(addr uint64) uint64 { return addr >> 3 }
+
+// noteStoreIssued records a store's write becoming visible to the
+// datapath (stores write the L1 at issue in this model). Versions stay
+// sorted by seq; out-of-order issue inserts from the back.
+func (k *checker) noteStoreIssued(c *Core, seq, addr, val uint64) {
+	w := ckWord(addr)
+	list := append(k.issued[w], memVersion{seq: seq, val: val})
+	for i := len(list) - 1; i > 0 && list[i-1].seq > list[i].seq; i-- {
+		list[i-1], list[i] = list[i], list[i-1]
+	}
+	// Prune: any load still able to read has seq >= the ROB head's, so
+	// one version older than the head plus everything younger suffices.
+	if len(list) > 12 && c.robCount > 0 {
+		headSeq := c.rob[c.robHead].op.Seq
+		keepFrom := 0
+		for i := len(list) - 1; i >= 0; i-- {
+			if list[i].seq < headSeq {
+				keepFrom = i
+				break
+			}
+		}
+		list = list[keepFrom:]
+	}
+	k.issued[w] = list
+}
+
+// dropStoreIssued removes a squashed store's version(s): its write is
+// undone by the flush (the re-dispatched instance re-issues with a new
+// sequence number), and a version left behind would alias a PAST
+// sequence number onto a program-order-LATER store, corrupting valueAt
+// for post-flush loads.
+func (k *checker) dropStoreIssued(seq, addr uint64) {
+	w := ckWord(addr)
+	list := k.issued[w]
+	for i := len(list) - 1; i >= 0; i-- {
+		if list[i].seq == seq {
+			list = append(list[:i], list[i+1:]...)
+		}
+	}
+	k.issued[w] = list
+}
+
+// noteStoreFunctional records a store consumed by FastForward: program
+// order, already "retired", and visible to every later load (sequence 0
+// precedes every dispatched uop's sequence).
+func (k *checker) noteStoreFunctional(addr, val uint64) {
+	w := ckWord(addr)
+	k.retired[w] = val
+	k.issued[w] = append(k.issued[w][:0], memVersion{seq: 0, val: val})
+}
+
+// valueAt returns the value a datapath read of addr by the load with
+// dispatch sequence loadSeq observes right now: the youngest issued store
+// version older than the load. ok is false when no such store has issued
+// — the read sees pre-store ("initial") memory.
+func (k *checker) valueAt(addr, loadSeq uint64) (val uint64, ok bool) {
+	list := k.issued[ckWord(addr)]
+	for i := len(list) - 1; i >= 0; i-- {
+		if list[i].seq < loadSeq {
+			return list[i].val, true
+		}
+	}
+	return 0, false
+}
+
+// trackLoadRead records the value a demand cache read delivers to e.
+func (k *checker) trackLoadRead(e *entry) {
+	if v, ok := k.valueAt(e.op.Addr, e.op.Seq); ok {
+		e.delivered, e.deliveredKnown, e.deliveredInit = v, true, false
+	} else {
+		e.deliveredKnown, e.deliveredInit = false, true
+	}
+}
+
+// observeRetire runs at retirement of every uop: it validates delivered
+// load values against program-order memory, appends the uop's digest, and
+// advances the retired-memory image on stores.
+func (k *checker) observeRetire(c *Core, e *entry) {
+	var loadVal uint64
+	if e.isLoad() {
+		loadVal = k.loadValue(c, e)
+	}
+	if k.digest != nil {
+		h := digestOp(&e.op)
+		if e.isLoad() {
+			h = mix64(h, loadVal)
+		}
+		k.digest.uops = append(k.digest.uops, h)
+	}
+	if e.isStore() {
+		k.retired[ckWord(e.op.Addr)] = e.op.Value
+	}
+	if e.isLoad() && e.ptAllocated && k.invariants {
+		k.ptDecrement(c)
+	}
+}
+
+// loadValue resolves the digest value for a retired load and flags stale
+// deliveries. At a load's retirement every program-order-preceding store
+// has retired, so retiredMem holds exactly the value a correctly
+// disambiguated datapath must have delivered.
+func (k *checker) loadValue(c *Core, e *entry) uint64 {
+	rv, hasStore := k.retired[ckWord(e.op.Addr)]
+	switch {
+	case e.deliveredKnown:
+		if hasStore && e.delivered != rv {
+			c.st.Checks.StaleDataDelivered++
+		}
+		return e.delivered
+	case e.deliveredInit:
+		if hasStore {
+			// The datapath read pre-store memory past a store that should
+			// have been forwarded or waited for. Fold a value distinct
+			// from rv into the digest so the differential oracle diverges
+			// deterministically.
+			c.st.Checks.StaleDataDelivered++
+			return rv ^ 0xA5A5A5A5A5A5A5A5
+		}
+		return e.op.Value
+	default:
+		// No datapath read was tracked (e.g. a probe-predicted value):
+		// program-order memory is what the load architecturally sees.
+		if hasStore {
+			return rv
+		}
+		return e.op.Value
+	}
+}
+
+// ptAllocate / ptDecrement maintain the core-side Prefetch Table
+// in-flight balance invariant.
+func (k *checker) ptAllocate() { k.ptInflight++ }
+
+func (k *checker) ptDecrement(c *Core) {
+	k.ptInflight--
+	if k.ptInflight < 0 {
+		c.st.Checks.PTInflightUnderflow++
+		k.ptInflight = 0
+	}
+}
+
+// cycleChecks runs the once-per-cycle structural invariants.
+func (k *checker) cycleChecks(c *Core) {
+	if c.rfpQ != nil && c.rfpQ.Len() > c.rfpQ.Cap() {
+		c.st.Checks.RFPQueueOverflow++
+	}
+	// Demand issue (loads, forwards, DLVP probes) must never overcommit
+	// the L1 load ports; RFP grants are budgeted separately in
+	// rfpArbitrate.
+	if c.loadUsed > c.cfg.LoadPorts {
+		c.st.Checks.RFPPortOvercommit++
+	}
+	if c.pf != nil {
+		if u := c.pf.InflightUnderflows(); u > k.ptUnderflowSeen {
+			c.st.Checks.PTInflightUnderflow += u - k.ptUnderflowSeen
+			k.ptUnderflowSeen = u
+		}
+	}
+}
+
+// checkSingleWriter asserts the free-list single-writer discipline: a
+// freshly allocated physical register must not be owned by any other
+// in-flight producer. O(ROB) per dispatch, which is why it only runs
+// under config.Checks.
+func (k *checker) checkSingleWriter(c *Core, e *entry) {
+	for off := 0; off < c.robCount; off++ {
+		o := &c.rob[c.robIndex(off)]
+		if o.valid && o.op.Dst.Valid() && o.op.Dst.IsFP() == e.op.Dst.IsFP() && o.pReg == e.pReg {
+			c.st.Checks.PRFMultiWriter++
+			return
+		}
+	}
+}
+
+// CommitDigest is a per-uop content hash of the committed architectural
+// trace, appended in retirement (= program) order. Identical streams
+// produce identical digests; internal/check compares them across paired
+// configurations and localizes the first divergence.
+type CommitDigest struct {
+	interval uint64
+	uops     []uint64
+}
+
+// IntervalUops returns the configured interval length in uops.
+func (d *CommitDigest) IntervalUops() uint64 { return d.interval }
+
+// Len returns the number of retired uops digested so far.
+func (d *CommitDigest) Len() int { return len(d.uops) }
+
+// Digests returns the per-uop digest stream (shared, not a copy).
+func (d *CommitDigest) Digests() []uint64 { return d.uops }
+
+// IntervalHash folds interval k's per-uop digests into one hash. The
+// last interval may be short.
+func (d *CommitDigest) IntervalHash(k int) uint64 {
+	lo := uint64(k) * d.interval
+	hi := lo + d.interval
+	if hi > uint64(len(d.uops)) {
+		hi = uint64(len(d.uops))
+	}
+	h := uint64(fnvOffset)
+	for _, u := range d.uops[lo:hi] {
+		h = mix64(h, u)
+	}
+	return h
+}
+
+// EnableCommitDigest attaches a commit digest with the given interval
+// length (uops per interval hash; 0 means 1000) and returns it. Call
+// before Run; the digest records every uop retired afterwards.
+// Fast-forwarded uops are deliberately not digested, so a sampled run's
+// stream aligns with the matching window of a full run.
+func (c *Core) EnableCommitDigest(intervalUops uint64) *CommitDigest {
+	if intervalUops == 0 {
+		intervalUops = 1000
+	}
+	if c.chk == nil {
+		c.chk = newChecker(c.cfg.Checks.Enabled)
+	}
+	c.chk.digest = &CommitDigest{interval: intervalUops}
+	return c.chk.digest
+}
+
+// FNV-1a 64-bit, mixed 8 bytes at a time.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func mix64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xFF
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// digestOp hashes the architecturally visible fields of a retired uop.
+// Seq is deliberately excluded: it is a dispatch artifact that differs
+// across flush histories, while the committed stream must not.
+func digestOp(op *isa.MicroOp) uint64 {
+	h := mix64(uint64(fnvOffset), op.PC)
+	h = mix64(h, uint64(op.Class))
+	h = mix64(h, uint64(op.Dst)|uint64(op.Src1)<<8|uint64(op.Src2)<<16|uint64(op.Size)<<24)
+	h = mix64(h, op.Addr)
+	h = mix64(h, op.Value)
+	t := op.Target
+	if op.Taken {
+		t ^= 1 << 63
+	}
+	return mix64(h, t)
+}

@@ -103,9 +103,7 @@ func (c *Core) retire(e *entry) {
 		if c.profile != nil {
 			c.profile.record(e)
 		}
-		if c.pf != nil {
-			c.pf.Commit(e.op.PC, e.pathAtDispatch, e.op.Addr)
-		}
+		c.trainLoadCommit(e.op.PC, e.pathAtDispatch, e.pathAtFetch, e.op.Addr, e.op.Value)
 		if c.crit != nil {
 			if e.stalledHead {
 				c.crit.MarkCritical(e.op.PC)
@@ -113,13 +111,7 @@ func (c *Core) retire(e *entry) {
 				c.crit.MarkBenign(e.op.PC)
 			}
 		}
-		if c.eves != nil {
-			c.eves.Train(e.op.PC, e.op.Value)
-		}
 		if c.dlvp != nil {
-			// DLVP predicts at fetch, so it must be trained with the
-			// fetch-time path history or lookups never hit.
-			c.dlvp.TrainAddr(e.op.PC, e.pathAtFetch, e.op.Addr)
 			c.dlvp.TrainFwd(e.op.PC, e.forwarded)
 		}
 	case e.isStore():
@@ -136,6 +128,9 @@ func (c *Core) retire(e *entry) {
 			c.renameTable[e.op.Dst] = producer{}
 		}
 	}
+	if c.chk != nil {
+		c.chk.observeRetire(c, e)
+	}
 	c.tracef("commit    %s", traceUop(&e.op))
 	if c.onRetire != nil {
 		c.onRetire(e)
@@ -147,6 +142,24 @@ func (c *Core) retire(e *entry) {
 	c.robHead = (c.robHead + 1) % len(c.rob)
 	c.robCount--
 	c.committed++
+}
+
+// trainLoadCommit trains the retirement-order load predictors shared by
+// commit and functional fast-forward: the RFP Prefetch Table / context
+// predictor (dispatch-time path), EVES, and the DLVP address table —
+// which predicts at fetch, so it must train with the fetch-time path
+// history or lookups never hit. The tables are independent of each
+// other, so one ordering serves both callers.
+func (c *Core) trainLoadCommit(pc, dispatchPath, fetchPath, addr, value uint64) {
+	if c.pf != nil {
+		c.pf.Commit(pc, dispatchPath, addr)
+	}
+	if c.eves != nil {
+		c.eves.Train(pc, value)
+	}
+	if c.dlvp != nil {
+		c.dlvp.TrainAddr(pc, fetchPath, addr)
+	}
 }
 
 // flushFrom squashes every in-flight uop from the given ROB offset
@@ -182,6 +195,9 @@ func (c *Core) flushFrom(fromOff int, refetch bool) {
 			c.lqCount--
 			if e.ptAllocated {
 				c.pf.Squash(e.op.PC)
+				if c.chk != nil && c.chk.invariants {
+					c.chk.ptDecrement(c)
+				}
 			}
 			if e.evesAllocated {
 				c.eves.Squash(e.op.PC)
@@ -191,6 +207,9 @@ func (c *Core) flushFrom(fromOff int, refetch bool) {
 			}
 		case e.isStore():
 			c.sqCount--
+			if e.addrKnown && c.chk != nil {
+				c.chk.dropStoreIssued(e.op.Seq, e.op.Addr)
+			}
 		}
 	}
 	// Walk the squashed suffix youngest-first to unwind the register

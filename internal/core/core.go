@@ -87,6 +87,7 @@ type Core struct {
 	fetchPath         uint64 // path history as seen at fetch (for DLVP)
 	nextSeq           uint64
 	genDone           bool
+	ffConsumed        uint64 // uops consumed functionally by FastForward
 
 	// Per-cycle port budgets (reset each cycle).
 	aluUsed, fpUsed, loadUsed, storeUsed, branchUsed int
@@ -108,6 +109,12 @@ type Core struct {
 	// onRetire is a white-box test hook observing the full entry state at
 	// retirement (forwarding sources, hit levels, RFP outcome).
 	onRetire func(*entry)
+
+	// chk, when set, runs the differential/invariant checking layer
+	// (checker.go); created by config.Checks or EnableCommitDigest.
+	chk *checker
+	// faultRFPNoDisambiguation is the InjectFault toggle (fault.go).
+	faultRFPNoDisambiguation bool
 }
 
 // producer names the in-flight uop that will write an architectural
@@ -176,6 +183,9 @@ func New(cfg config.Core, gen isa.Generator) *Core {
 	for p := isa.NumFPRegs; p < cfg.FPPRF; p++ {
 		c.freeFP = append(c.freeFP, int32(p))
 	}
+	if cfg.Checks.Enabled {
+		c.chk = newChecker(true)
+	}
 	return c
 }
 
@@ -188,6 +198,13 @@ func (c *Core) OnCommit(fn func(*isa.MicroOp)) { c.onCommit = fn }
 
 // Cycle returns the current simulated cycle.
 func (c *Core) Cycle() uint64 { return c.cycle }
+
+// RetiredStreamPos returns the workload-stream index of the next uop to
+// retire: fast-forwarded uops plus cycle-simulated retirements
+// (retirement is program order, so the two segments are contiguous). The
+// differential harness (internal/check) uses it to align a replayed
+// interval's commit digest with the matching window of a full run.
+func (c *Core) RetiredStreamPos() uint64 { return c.ffConsumed + c.committed }
 
 // ctxCheckInterval is how many cycles pass between context polls inside
 // Run. Powers of two keep the check a mask in the hot loop.
@@ -295,6 +312,9 @@ func (c *Core) step() {
 	// RFP's lowest priority.
 	c.rfpArbitrate()
 	c.fetch()
+	if c.chk != nil && c.chk.invariants {
+		c.chk.cycleChecks(c)
+	}
 	c.cycle++
 }
 

@@ -88,6 +88,19 @@ type entry struct {
 	rfpLevel     int    // hierarchy level the prefetch hit
 	rfpMDStale   bool   // an older store overwrote the prefetched data
 	rfpFwdWaitPC uint64 // unresolved same-set store PC the prefetch waits on
+	rfpConsumed  bool   // the load consumed prefetched register file data
+
+	// Checker shadow-value state (checker.go), tracked only when the
+	// checking layer is attached. delivered is the store value the
+	// datapath read for this load; deliveredInit marks a read that saw
+	// pre-store memory. rfpData* snapshot the value an executed prefetch
+	// brought into the register file, consumed if the load accepts it.
+	delivered      uint64
+	deliveredKnown bool
+	deliveredInit  bool
+	rfpData        uint64
+	rfpDataKnown   bool
+	rfpDataInit    bool
 
 	// Value prediction state.
 	vpPredicted  bool

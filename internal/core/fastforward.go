@@ -67,20 +67,16 @@ func (c *Core) FastForward(ctx context.Context, n uint64) error {
 			if c.hm != nil {
 				c.hm.Update(op.PC, c.hier.L1Contains(op.Addr))
 			}
-			if c.eves != nil {
-				c.eves.Train(op.PC, op.Value)
-			}
-			if c.dlvp != nil {
-				c.dlvp.TrainAddr(op.PC, c.fetchPath, op.Addr)
-			}
-			if c.pf != nil {
-				c.pf.Commit(op.PC, c.pathHash, op.Addr)
-			}
+			c.trainLoadCommit(op.PC, c.pathHash, c.fetchPath, op.Addr, op.Value)
 			c.hier.Warm(op.Addr)
 		case op.IsStore():
+			if c.chk != nil {
+				c.chk.noteStoreFunctional(op.Addr, op.Value)
+			}
 			c.hier.Warm(op.Addr)
 		}
 	}
+	c.ffConsumed += n
 	return nil
 }
 

@@ -1,0 +1,26 @@
+package core
+
+import "fmt"
+
+// FaultRFPNoDisambiguation disables every protection that keeps a
+// register file prefetch coherent with older in-flight stores: the
+// §3.2.1 older-store scan at arbitration always reports "clear", stores
+// stop marking executed prefetches stale (issueStore's rfpMDStale pass),
+// and the memory-ordering violation scan exempts loads that consumed
+// prefetched data. A load can then retire with pre-store data — exactly
+// the corruption the checking harness must catch, via both the
+// StaleDataDelivered runtime invariant and a differential-digest
+// divergence (docs/checking.md).
+const FaultRFPNoDisambiguation = "rfp-no-disambiguation"
+
+// InjectFault enables a named, deliberately wrong model behaviour. It
+// exists purely so the checking harness can prove its oracles detect the
+// class of bug they claim to; nothing outside tests should call it.
+func (c *Core) InjectFault(name string) error {
+	switch name {
+	case FaultRFPNoDisambiguation:
+		c.faultRFPNoDisambiguation = true
+		return nil
+	}
+	return fmt.Errorf("core: unknown fault %q", name)
+}

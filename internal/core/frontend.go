@@ -30,11 +30,8 @@ func (c *Core) fetch() {
 				c.pending = c.pending[:0]
 				c.pendingHead = 0
 			}
-		} else {
-			if c.genDone || !c.gen.Next(&op) {
-				c.genDone = true
-				return
-			}
+		} else if !genNext(c, &op) {
+			return
 		}
 		f := fetched{
 			op:          op,
@@ -217,6 +214,9 @@ func (c *Core) dispatchOne(f fetched) {
 			e.pReg = c.allocPReg(f.op.Dst)
 			e.prevPReg = c.aratPReg[f.op.Dst]
 			c.aratPReg[f.op.Dst] = e.pReg
+			if c.chk != nil && c.chk.invariants {
+				c.chk.checkSingleWriter(c, e)
+			}
 		}
 	}
 
@@ -292,6 +292,9 @@ func (c *Core) dispatchLoad(e *entry, idx int, f fetched) {
 	// not already value predicted (§5.3).
 	if c.pf != nil {
 		e.ptAllocated = true
+		if c.chk != nil && c.chk.invariants {
+			c.chk.ptAllocate()
+		}
 		addr, eligible := c.pf.Allocate(e.op.PC, c.pathHash)
 		// The criticality-targeted variant (§5.1 future work) only spends
 		// queue slots and L1 bandwidth on loads known to stall commit.

@@ -179,6 +179,9 @@ func (c *Core) issueStore(e *entry, myOff int) {
 	// Stores fill the cache (write-allocate) but do not stall commit;
 	// the access is fired here for cache-content fidelity.
 	c.hier.Access(e.op.Addr, c.cycle, false)
+	if c.chk != nil {
+		c.chk.noteStoreIssued(c, e.op.Seq, e.op.Addr, e.op.Value)
+	}
 	if c.ssbf != nil {
 		c.ssbf.InsertStore(isa.LineAddr(e.op.Addr))
 	}
@@ -195,6 +198,9 @@ func (c *Core) issueStore(e *entry, myOff int) {
 		if l.forwarded && l.forwardedFromSeq > e.op.Seq {
 			continue // data came from a store younger than this one
 		}
+		if c.faultRFPNoDisambiguation && l.rfpConsumed {
+			continue // injected fault: RFP consumers dodge the flush
+		}
 		// Violation: flush from the load (inclusive) and synchronize the
 		// pair in the store-set table.
 		c.st.MemOrderViolations++
@@ -203,6 +209,9 @@ func (c *Core) issueStore(e *entry, myOff int) {
 		return
 	}
 
+	if c.faultRFPNoDisambiguation {
+		return // injected fault: executed prefetches are never marked stale
+	}
 	// Any not-yet-issued load whose prefetch covered this word now holds
 	// stale data in its register; the load will re-look-up the caches
 	// (§3.2.1: no flush needed when the load has not dispatched).
@@ -253,6 +262,11 @@ func (c *Core) issueLoad(e *entry, myOff int) bool {
 			}
 			// Correct prefetch: the load consumes the register file data
 			// and bypasses the caches entirely — no L1 port needed.
+			e.rfpConsumed = true
+			if c.chk != nil {
+				e.delivered, e.deliveredKnown, e.deliveredInit =
+					e.rfpData, e.rfpDataKnown, e.rfpDataInit
+			}
 			c.st.RFP.Useful++
 			if e.rfpFillAt <= c.cycle {
 				c.st.RFP.FullyHidden++
@@ -293,6 +307,9 @@ func (c *Core) issueLoad(e *entry, myOff int) bool {
 				c.loadUsed++
 				e.forwarded = true
 				e.forwardedFromSeq = s.op.Seq
+				if c.chk != nil {
+					e.delivered, e.deliveredKnown, e.deliveredInit = s.op.Value, true, false
+				}
 				c.st.StoreForwarded++
 				// A probe-based value prediction read the L1 before this
 				// store's data existed there: the prediction is stale.
@@ -320,6 +337,9 @@ func (c *Core) issueLoad(e *entry, myOff int) bool {
 		return false
 	}
 	c.loadUsed++
+	if c.chk != nil {
+		c.chk.trackLoadRead(e)
+	}
 	predictedHit := c.hm.Predict(e.op.PC)
 	res := c.hier.Access(e.op.Addr, c.cycle, true)
 	actualHit := levelIsHit(res.Level)

@@ -23,6 +23,10 @@ func (c *Core) rfpArbitrate() {
 	if c.rfpQ.Len() > 0 && free <= 0 {
 		c.st.RFP.PortConflicts++
 	}
+	// Invariant (§4.3): prefetches may only ever win ports demand loads
+	// left free this cycle; grants are counted against the budget
+	// computed at entry.
+	maxGrants, grants := free, 0
 	for free > 0 {
 		pkt, ok := c.rfpQ.Peek()
 		if !ok {
@@ -58,7 +62,7 @@ func (c *Core) rfpArbitrate() {
 		// prefetch is a proxy for the load, so it performs the same
 		// memory disambiguation the load would.
 		myOff := (pkt.Slot - c.robHead + len(c.rob)) % len(c.rob)
-		action, fwdFrom := c.rfpScanStores(e, myOff, pkt.Addr)
+		action, fwdStore := c.rfpScanStores(e, myOff, pkt.Addr)
 		switch action {
 		case rfpScanWait:
 			// An unresolved same-store-set store blocks the request;
@@ -69,12 +73,18 @@ func (c *Core) rfpArbitrate() {
 			// The up-to-date data comes from the store queue entry.
 			c.rfpQ.Pop()
 			free--
+			if grants++; grants > maxGrants && c.chk != nil && c.chk.invariants {
+				c.st.Checks.RFPPortOvercommit++
+			}
 			e.rfp = rfpExecuted
 			e.rfpAddr = pkt.Addr
 			e.rfpFillAt = c.cycle + 1
 			e.rfpArmedAt = c.cycle + 1
 			e.rfpLevel = stats.LevelL1
-			e.forwardedFromSeq = fwdFrom
+			e.forwardedFromSeq = fwdStore.op.Seq
+			if c.chk != nil {
+				e.rfpData, e.rfpDataKnown, e.rfpDataInit = fwdStore.op.Value, true, false
+			}
 			c.st.RFP.Executed++
 			continue
 		}
@@ -84,6 +94,7 @@ func (c *Core) rfpArbitrate() {
 		if !c.cfg.RFP.PrefetchOnL1Miss && !c.hier.L1Contains(pkt.Addr) {
 			c.rfpQ.Pop()
 			free--
+			grants++ // the tag lookup consumed the port
 			e.rfp = rfpDropped
 			c.st.RFP.Dropped++
 			continue
@@ -91,6 +102,9 @@ func (c *Core) rfpArbitrate() {
 		res := c.hier.Access(pkt.Addr, c.cycle, false)
 		c.rfpQ.Pop()
 		free--
+		if grants++; grants > maxGrants && c.chk != nil && c.chk.invariants {
+			c.st.Checks.RFPPortOvercommit++
+		}
 		e.rfp = rfpExecuted
 		e.rfpAddr = pkt.Addr
 		e.rfpFillAt = res.DoneAt
@@ -104,6 +118,24 @@ func (c *Core) rfpArbitrate() {
 			c.st.RFP.L1Misses++
 		}
 		e.rfpLevel = res.Level
+		if c.chk != nil {
+			// Snapshot what the read actually returned: the youngest
+			// already-issued older store's value, or pre-store memory.
+			if v, ok := c.chk.valueAt(pkt.Addr, e.op.Seq); ok {
+				e.rfpData, e.rfpDataKnown, e.rfpDataInit = v, true, false
+			} else {
+				e.rfpDataKnown, e.rfpDataInit = false, true
+			}
+			// Invariant (§3.3): for an L1 hit the RFP-inflight bit leads
+			// the register file fill by exactly the wakeup/select/read
+			// depth — checked when the config keeps the paper's alignment
+			// L1Latency == SchedDepth + 2.
+			if c.chk.invariants && res.Level == stats.LevelL1 &&
+				c.cfg.Mem.L1Latency == c.cfg.SchedDepth+2 &&
+				e.rfpFillAt-e.rfpArmedAt != uint64(c.cfg.SchedDepth) {
+				c.st.Checks.RFPArmLeadSkew++
+			}
+		}
 		c.st.RFP.Executed++
 		c.tracef("rfp-exec  seq=%d addr=%#x fill=%d armed=%d level=%s",
 			e.op.Seq, pkt.Addr, e.rfpFillAt, e.rfpArmedAt, stats.LevelName(res.Level))
@@ -119,8 +151,11 @@ const (
 
 // rfpScanStores performs the §3.2.1 older-store scan for a prefetch to
 // addr on behalf of load e at ROB offset myOff (youngest-first, like the
-// LSQ CAM).
-func (c *Core) rfpScanStores(e *entry, myOff int, addr uint64) (action int, fwdFromSeq uint64) {
+// LSQ CAM). On rfpScanForward the covering store entry is returned.
+func (c *Core) rfpScanStores(e *entry, myOff int, addr uint64) (action int, fwdStore *entry) {
+	if c.faultRFPNoDisambiguation {
+		return rfpScanClear, nil // injected fault: never scan, never wait
+	}
 	loadSet := c.ss.IDFor(e.op.PC)
 	for off := myOff - 1; off >= 0; off-- {
 		s := &c.rob[c.robIndex(off)]
@@ -129,7 +164,7 @@ func (c *Core) rfpScanStores(e *entry, myOff int, addr uint64) (action int, fwdF
 		}
 		if s.addrKnown {
 			if sameWord(s.op.Addr, addr) {
-				return rfpScanForward, s.op.Seq
+				return rfpScanForward, s
 			}
 			continue
 		}
@@ -138,8 +173,8 @@ func (c *Core) rfpScanStores(e *entry, myOff int, addr uint64) (action int, fwdF
 		// "skip" is caught by issueStore marking the prefetch stale —
 		// no flush, per §3.2.1, because the load has not dispatched).
 		if loadSet != -1 && c.ss.IDFor(s.op.PC) == loadSet {
-			return rfpScanWait, 0
+			return rfpScanWait, nil
 		}
 	}
-	return rfpScanClear, 0
+	return rfpScanClear, nil
 }

@@ -1,0 +1,19 @@
+package rfp
+
+import "testing"
+
+// FuzzQueueOps mutates the op-string the queue/model interpreter of
+// queue_prop_test.go executes: any byte sequence is a valid program, so
+// the fuzzer freely explores interleavings of push/pop/peek/drop across
+// capacities 1..8 hunting for a ring-buffer state the reference model
+// disagrees with. Seed corpus under testdata/fuzz/FuzzQueueOps.
+func FuzzQueueOps(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 0, 1, 2, 3})
+	f.Add([]byte{3, 0, 4, 8, 12, 3, 1, 1, 0, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return // bound per-exec work; the contract is length-invariant
+		}
+		checkQueueOps(t, data)
+	})
+}

@@ -47,6 +47,10 @@ func (p *Prefetcher) Commit(pc, path, addr uint64) {
 // Squash releases the in-flight slot of a squashed load.
 func (p *Prefetcher) Squash(pc uint64) { p.table.Squash(pc) }
 
+// InflightUnderflows exposes the Prefetch Table's in-flight underflow
+// count for the runtime invariant layer (config.Checks).
+func (p *Prefetcher) InflightUnderflows() uint64 { return p.table.InflightUnderflows() }
+
 // StorageBits returns the total predictor storage in bits (Table 1).
 func (p *Prefetcher) StorageBits() int {
 	bits := p.table.StorageBits()

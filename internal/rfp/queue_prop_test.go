@@ -1,0 +1,119 @@
+package rfp
+
+import (
+	"testing"
+
+	"rfpsim/internal/prng"
+)
+
+// checkQueueOps drives a Queue and a trivially correct reference model
+// (a bounded slice) through the same op sequence, failing on the first
+// observable difference. Encoding: the first byte picks the capacity
+// (1..8, small so wrap-around is constantly exercised); every following
+// byte is one operation, op = b&3 with the argument in the high bits:
+//
+//	0 push   — must succeed exactly when the model is not full
+//	1 pop    — must return the model's oldest packet
+//	2 peek   — ditto, without removing it
+//	3 drop   — DropWhere(LoadID%m == 0) must drop the same packets the
+//	           model filter does, preserving FIFO order of the rest
+//
+// Both the property test (prng-generated sequences) and FuzzQueueOps
+// (mutated byte strings) run this interpreter, so the fuzzer explores
+// the same contract the property test pins.
+func checkQueueOps(t *testing.T, data []byte) {
+	t.Helper()
+	if len(data) == 0 {
+		return
+	}
+	capacity := int(data[0]%8) + 1
+	q := NewQueue(capacity)
+	var model []Packet
+	next := 0 // LoadID generator, so packets are distinguishable
+
+	for i, b := range data[1:] {
+		arg := int(b >> 2)
+		switch b & 3 {
+		case 0:
+			p := Packet{
+				LoadID: next,
+				PC:     uint64(arg) * 8,
+				Addr:   uint64(arg) * 64,
+				PRFID:  arg % 32,
+				Slot:   arg % 16,
+			}
+			next++
+			ok := q.Push(p)
+			if want := len(model) < capacity; ok != want {
+				t.Fatalf("op %d: Push ok=%t, want %t (len %d cap %d)", i, ok, want, len(model), capacity)
+			}
+			if ok {
+				model = append(model, p)
+			}
+		case 1:
+			p, ok := q.Pop()
+			if want := len(model) > 0; ok != want {
+				t.Fatalf("op %d: Pop ok=%t, want %t", i, ok, want)
+			}
+			if ok {
+				if p != model[0] {
+					t.Fatalf("op %d: Pop = %+v, want %+v", i, p, model[0])
+				}
+				model = model[1:]
+			}
+		case 2:
+			p, ok := q.Peek()
+			if want := len(model) > 0; ok != want {
+				t.Fatalf("op %d: Peek ok=%t, want %t", i, ok, want)
+			}
+			if ok && p != model[0] {
+				t.Fatalf("op %d: Peek = %+v, want %+v", i, p, model[0])
+			}
+		case 3:
+			m := arg%4 + 1
+			pred := func(p Packet) bool { return p.LoadID%m == 0 }
+			dropped := q.DropWhere(pred)
+			kept := model[:0:0]
+			for _, p := range model {
+				if !pred(p) {
+					kept = append(kept, p)
+				}
+			}
+			if want := len(model) - len(kept); dropped != want {
+				t.Fatalf("op %d: DropWhere dropped %d, want %d", i, dropped, want)
+			}
+			model = kept
+		}
+		if q.Len() != len(model) {
+			t.Fatalf("op %d: Len = %d, want %d", i, q.Len(), len(model))
+		}
+		if q.Len() > q.Cap() {
+			t.Fatalf("op %d: Len %d exceeds Cap %d", i, q.Len(), q.Cap())
+		}
+	}
+	// Drain: the survivors must come out in model order.
+	for len(model) > 0 {
+		p, ok := q.Pop()
+		if !ok || p != model[0] {
+			t.Fatalf("drain: Pop = %+v ok=%t, want %+v", p, ok, model[0])
+		}
+		model = model[1:]
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("drain: queue still non-empty after the model emptied")
+	}
+}
+
+// TestQueueRingProperty drives the ring through long randomized op
+// sequences against the reference model. The prng seeds are fixed, so
+// the sequences — and therefore the test — are fully deterministic.
+func TestQueueRingProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		src := prng.New(seed * 0x9E3779B97F4A7C15)
+		ops := make([]byte, 20000)
+		for i := range ops {
+			ops[i] = byte(src.Uint64())
+		}
+		checkQueueOps(t, ops)
+	}
+}

@@ -57,6 +57,15 @@ type Table struct {
 	rng     *prng.Source
 	confMax uint8
 	stamp   uint64
+
+	// inflightDebt holds pending decrements with no counted increment to
+	// match: evicting a live entry discards its in-flight count, and a
+	// saturated counter swallows increments, yet every such instance still
+	// commits or squashes later. Decrements that find a zero counter
+	// consume this debt first; only a decrement with no live count AND no
+	// debt is a genuine underflow (a double decrement somewhere).
+	inflightDebt uint64
+	underflows   uint64
 }
 
 // NewTable builds the Prefetch Table (and its PAT when cfg.UsePAT).
@@ -115,6 +124,9 @@ func (t *Table) alloc(pc uint64) *ptEntry {
 			victim = i
 		}
 	}
+	if v := &t.entries[victim]; v.valid && v.inflight > 0 {
+		t.inflightDebt += uint64(v.inflight)
+	}
 	t.stamp++
 	t.entries[victim] = ptEntry{tag: t.tagFor(pc), valid: true, lru: t.stamp}
 	return &t.entries[victim]
@@ -163,6 +175,8 @@ func (t *Table) Allocate(pc uint64) (addr uint64, eligible bool) {
 	}
 	if e.inflight < inflightMax {
 		e.inflight++
+	} else {
+		t.inflightDebt++ // saturated: the swallowed increment becomes debt
 	}
 	t.stamp++
 	e.lru = t.stamp
@@ -182,15 +196,17 @@ func (t *Table) Commit(pc, addr uint64) {
 	e := t.find(pc)
 	if e == nil {
 		// The entry allocated for this instance was evicted while it was
-		// in flight; recreate it with the base established.
+		// in flight; its pending decrement sits in the debt pool. Recreate
+		// the entry with the base established.
+		if t.inflightDebt > 0 {
+			t.inflightDebt--
+		}
 		e = t.alloc(pc)
 		t.setBase(e, addr)
 		e.hasBase = true
 		return
 	}
-	if e.inflight > 0 {
-		e.inflight--
-	}
+	t.releaseInflight(e)
 	if !e.hasBase {
 		// First retirement through this entry: establish the base; the
 		// stride is learnt from the next one.
@@ -235,10 +251,29 @@ func (t *Table) Commit(pc, addr uint64) {
 // allocated but will never commit (§3.1: the counter is decremented for
 // each squashed load on a branch misprediction).
 func (t *Table) Squash(pc uint64) {
-	if e := t.find(pc); e != nil && e.inflight > 0 {
-		e.inflight--
+	if e := t.find(pc); e != nil {
+		t.releaseInflight(e)
 	}
 }
+
+// releaseInflight performs one in-flight decrement: the live counter if
+// positive, otherwise the debt pool (see inflightDebt); a decrement with
+// neither is counted as an underflow for the checking layer.
+func (t *Table) releaseInflight(e *ptEntry) {
+	switch {
+	case e.inflight > 0:
+		e.inflight--
+	case t.inflightDebt > 0:
+		t.inflightDebt--
+	default:
+		t.underflows++
+	}
+}
+
+// InflightUnderflows returns how many in-flight decrements found neither a
+// live counter nor matching debt — each one is a bookkeeping bug, surfaced
+// by the checking layer as a PTInflightUnderflow violation.
+func (t *Table) InflightUnderflows() uint64 { return t.underflows }
 
 // StorageBits returns the PT's storage in bits, matching Table 1's
 // accounting: per entry a 16b tag, confidence bits, 2b utility, 8b stride

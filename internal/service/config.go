@@ -40,6 +40,13 @@ type ConfigSpec struct {
 	LateRegAlloc bool `json:"late_reg_alloc,omitempty"`
 	// HWPrefetch adds the hardware stream cache prefetcher.
 	HWPrefetch bool `json:"hw_prefetch,omitempty"`
+
+	// Checks enables the runtime invariant checker (docs/checking.md).
+	// Violations ride back in the stats block and feed the daemon's
+	// rfpsim_check_violations_total counter. Timing results are unchanged;
+	// the knob still keys a distinct content address because the stats
+	// block gains the checker counters.
+	Checks bool `json:"checks,omitempty"`
 }
 
 // Build resolves the spec into a validated core configuration.
@@ -91,6 +98,7 @@ func (s ConfigSpec) Build() (config.Core, error) {
 	}
 	cfg.LateRegAlloc = s.LateRegAlloc
 	cfg.Mem.HWPrefetch = s.HWPrefetch
+	cfg.Checks.Enabled = s.Checks
 	if err := cfg.Validate(); err != nil {
 		return config.Core{}, fmt.Errorf("service: invalid config: %w", err)
 	}

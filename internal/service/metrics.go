@@ -26,7 +26,13 @@ type Metrics struct {
 
 	simCycles    atomic.Uint64 // total simulated cycles across all jobs
 	simBusyNanos atomic.Uint64 // total wall time workers spent simulating
+
+	checkViolations atomic.Uint64 // invariant violations across checked jobs
 }
+
+// CheckViolations returns the invariant violations observed across all
+// jobs that ran with the checker enabled (config.checks on the request).
+func (m *Metrics) CheckViolations() uint64 { return m.checkViolations.Load() }
 
 // WritePrometheus implements obs.Collector. The exposition format —
 // metric names, label sets, ordering — is pinned by a golden test
@@ -48,6 +54,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	obs.Counter(w, "rfpsimd_cache_hits_total", "Requests served from the result cache.", m.cacheHits.Load())
 	obs.Counter(w, "rfpsimd_cache_misses_total", "Requests that had to simulate.", m.cacheMisses.Load())
 	obs.Counter(w, "rfpsimd_sim_cycles_total", "Simulated core cycles across all jobs.", m.simCycles.Load())
+	obs.Counter(w, "rfpsim_check_violations_total", "Runtime invariant violations across jobs run with the checker enabled (docs/checking.md).", m.checkViolations.Load())
 	obs.Gauge(w, "rfpsimd_sim_cycles_per_second", "Simulated cycles per wall-clock second of worker busy time.", cyclesPerSec)
 
 	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()

@@ -353,6 +353,10 @@ func (s *Server) worker() {
 		case res.err == nil:
 			s.metrics.jobsOK.Add(1)
 			s.metrics.simCycles.Add(res.st.Cycles)
+			if v := res.st.Checks.Total(); v > 0 {
+				s.metrics.checkViolations.Add(v)
+				log.Warn("invariant violations", "violations", v)
+			}
 			log.Info("job done", "status", "ok",
 				"cycles", res.st.Cycles, "timings", res.timings.String())
 		case errors.Is(res.err, context.Canceled) || errors.Is(res.err, context.DeadlineExceeded):

@@ -470,3 +470,51 @@ func TestDrainRefusesNewJobs(t *testing.T) {
 		t.Errorf("/healthz draining Retry-After = %q, want %q", got, retryAfterDrain)
 	}
 }
+
+// TestChecksKnob pins the checks wire knob: a checked job runs with the
+// invariant layer on (the stats block carries the checker counters and,
+// on a healthy model, zero violations feed the
+// rfpsim_check_violations_total counter), keys a distinct content
+// address from its unchecked twin, and reports identical timing results
+// — the checker is observability, never behavior.
+func TestChecksKnob(t *testing.T) {
+	svc, ts := newTestServer(t, Options{Workers: 2})
+	plain := quickReq()
+	checked := quickReq()
+	checked.Config.Checks = true
+
+	kp, err := ContentAddress(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kc, err := ContentAddress(checked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kp == kc {
+		t.Fatal("checks knob must key a distinct content address")
+	}
+
+	resp1, body1 := postSim(t, ts, plain)
+	resp2, body2 := postSim(t, ts, checked)
+	if resp1.StatusCode != http.StatusOK || resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d / %d", resp1.StatusCode, resp2.StatusCode)
+	}
+	var r1, r2 SimResponse
+	if err := json.Unmarshal(body1, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body2, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Instructions != r2.Instructions {
+		t.Fatalf("checker changed timing: %d/%d cycles, %d/%d instructions",
+			r1.Cycles, r2.Cycles, r1.Instructions, r2.Instructions)
+	}
+	if r2.Stats.Checks.Total() != 0 {
+		t.Fatalf("healthy model reported %d invariant violations", r2.Stats.Checks.Total())
+	}
+	if got := svc.Metrics().CheckViolations(); got != 0 {
+		t.Fatalf("rfpsim_check_violations_total = %d, want 0", got)
+	}
+}

@@ -49,6 +49,12 @@ func Accumulate(dst, src *Sim) {
 	dst.Slots.StallEmpty += src.Slots.StallEmpty
 	dst.VPFlushes += src.VPFlushes
 	dst.EPPReexecutions += src.EPPReexecutions
+	dst.Checks.RFPQueueOverflow += src.Checks.RFPQueueOverflow
+	dst.Checks.PTInflightUnderflow += src.Checks.PTInflightUnderflow
+	dst.Checks.RFPPortOvercommit += src.Checks.RFPPortOvercommit
+	dst.Checks.RFPArmLeadSkew += src.Checks.RFPArmLeadSkew
+	dst.Checks.PRFMultiWriter += src.Checks.PRFMultiWriter
+	dst.Checks.StaleDataDelivered += src.Checks.StaleDataDelivered
 }
 
 // Scale multiplies every counter of s by w. It is the weighted-replay

@@ -75,6 +75,63 @@ type Sim struct {
 	// EPPReexecutions counts loads re-executed at retirement due to SSBF
 	// (false) positives in the EPP scheme.
 	EPPReexecutions uint64
+
+	// Checks is the runtime invariant-violation block, populated only when
+	// config.Checks is enabled (see docs/checking.md). Every field should
+	// be zero on a healthy simulator; sweeps surface the total as
+	// rfpsim_check_violations_total instead of crashing mid-grid.
+	Checks CheckStats
+}
+
+// CheckStats counts runtime invariant violations, one counter per
+// invariant so a nonzero total immediately names the broken contract.
+// The invariants come straight from the paper's microarchitecture
+// description: RFP is architecturally invisible, steals only free L1
+// ports (§4.3), arms its in-flight bit exactly the scheduler depth ahead
+// of the fill (§4.2), and the Prefetch Table's in-flight counters are
+// balanced by commits and squashes (§4.1).
+type CheckStats struct {
+	// RFPQueueOverflow counts cycles the prefetch-queue occupancy exceeded
+	// its configured capacity.
+	RFPQueueOverflow uint64
+	// PTInflightUnderflow counts Prefetch Table in-flight decrements that
+	// would have driven a counter below zero (net of entries whose counts
+	// were legitimately stranded by eviction).
+	PTInflightUnderflow uint64
+	// RFPPortOvercommit counts cycles where prefetches won more L1 load
+	// ports than were actually free, or demand issue overcommitted the
+	// load ports outright.
+	RFPPortOvercommit uint64
+	// RFPArmLeadSkew counts L1-hit prefetches whose RFP-inflight bit did
+	// not lead the register-file fill by exactly the wakeup/select/read
+	// depth (checked only when L1Latency == SchedDepth+2, the paper's
+	// alignment).
+	RFPArmLeadSkew uint64
+	// PRFMultiWriter counts physical-register allocations that handed a
+	// register already owned by another in-flight producer.
+	PRFMultiWriter uint64
+	// StaleDataDelivered counts retired loads whose modelled datapath
+	// delivered a value different from what program-order memory holds —
+	// the exact corruption RFP's store-queue disambiguation exists to
+	// prevent.
+	StaleDataDelivered uint64
+}
+
+// Total returns the violation count across all invariants.
+func (c CheckStats) Total() uint64 {
+	return c.RFPQueueOverflow + c.PTInflightUnderflow + c.RFPPortOvercommit +
+		c.RFPArmLeadSkew + c.PRFMultiWriter + c.StaleDataDelivered
+}
+
+// Each calls fn for every invariant counter in a fixed order, using the
+// snake_case names that appear in reports and metric labels.
+func (c CheckStats) Each(fn func(name string, count uint64)) {
+	fn("rfp_queue_overflow", c.RFPQueueOverflow)
+	fn("pt_inflight_underflow", c.PTInflightUnderflow)
+	fn("rfp_port_overcommit", c.RFPPortOvercommit)
+	fn("rfp_arm_lead_skew", c.RFPArmLeadSkew)
+	fn("prf_multi_writer", c.PRFMultiWriter)
+	fn("stale_data_delivered", c.StaleDataDelivered)
 }
 
 // SlotStats classifies every commit slot of every cycle, top-down style:

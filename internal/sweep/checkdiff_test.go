@@ -1,0 +1,115 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+const diffSpecJSON = `{
+	"name": "diffsweep",
+	"mode": "check_diff",
+	"workloads": ["spec06_mcf"],
+	"base": {"rfp": true},
+	"axes": [{"knob": "pt_entries", "values": [128, 256]}],
+	"measure_uops": 3000
+}`
+
+// TestCheckDiffSweep runs a small differential sweep end to end: every
+// grid point pairs RFP-on against the derived RFP-off base, digests
+// must agree, and the CSV carries one verdict block per unit in grid
+// order.
+func TestCheckDiffSweep(t *testing.T) {
+	spec, err := ParseSpec([]byte(diffSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.CheckDiff() {
+		t.Fatal("spec should be in check_diff mode")
+	}
+	units, err := spec.ExpandDiff()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 2 {
+		t.Fatalf("got %d units, want 2", len(units))
+	}
+	for _, u := range units {
+		if u.Diff.Base.RFP.Enabled || !u.Diff.Variant.RFP.Enabled {
+			t.Fatalf("unit %s: default diff mode must pair RFP-off base against RFP-on variant", u.Label)
+		}
+	}
+
+	m := &Metrics{}
+	var progress bytes.Buffer
+	sum, err := RunCheckDiff(context.Background(), units, 2, m, &progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Clean() {
+		t.Fatalf("differential sweep not clean: %+v", sum.Results)
+	}
+	if m.Done() != 2 || m.checkViolations.Load() != 0 || m.diffDivergences.Load() != 0 {
+		t.Fatalf("metrics: done=%d violations=%d divergences=%d",
+			m.Done(), m.checkViolations.Load(), m.diffDivergences.Load())
+	}
+	if n := strings.Count(progress.String(), "identical"); n != 2 {
+		t.Fatalf("progress reported %d identical units, want 2:\n%s", n, progress.String())
+	}
+
+	var csvOut bytes.Buffer
+	if err := sum.WriteCSV(&csvOut); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvOut.String()), "\n")
+	if lines[0] != "experiment,metric,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines)-1 != len(units)*3 {
+		t.Fatalf("got %d data rows, want %d", len(lines)-1, len(units)*3)
+	}
+	for i, u := range units {
+		if want := u.Label + ",diverged,0"; lines[1+3*i] != want {
+			t.Fatalf("row %d = %q, want %q", 1+3*i, lines[1+3*i], want)
+		}
+	}
+}
+
+// TestCheckDiffSpecValidation pins the loud-failure contract of the
+// mode/diff_mode knobs.
+func TestCheckDiffSpecValidation(t *testing.T) {
+	bad := []string{
+		`{"name": "x", "workloads": ["spec06_mcf"], "mode": "bogus"}`,
+		`{"name": "x", "workloads": ["spec06_mcf"], "diff_mode": "norfp"}`,
+	}
+	for _, js := range bad {
+		if _, err := ParseSpec([]byte(js)); err == nil {
+			t.Errorf("spec %s should not parse", js)
+		}
+	}
+
+	spec, err := ParseSpec([]byte(diffSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Expand(); err == nil {
+		t.Error("Expand must reject a check_diff spec")
+	}
+
+	reject := func(mutate func(*Spec)) {
+		t.Helper()
+		s, err := ParseSpec([]byte(diffSpecJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(s)
+		if _, err := s.ExpandDiff(); err == nil {
+			t.Errorf("ExpandDiff should reject the mutated spec")
+		}
+	}
+	reject(func(s *Spec) { s.WarmupUops = 1000 })
+	reject(func(s *Spec) { s.Seeds = 3 })
+	reject(func(s *Spec) { s.ColdCaches = true })
+	reject(func(s *Spec) { s.DiffMode = "nonsense" })
+}

@@ -23,6 +23,9 @@ type Metrics struct {
 	failed  atomic.Uint64 // counter: units terminally failed
 	retried atomic.Uint64 // counter: extra backend attempts
 
+	checkViolations atomic.Uint64 // counter: invariant violations (check_diff units)
+	diffDivergences atomic.Uint64 // counter: check_diff units whose digests diverged
+
 	mu       sync.Mutex
 	backends map[string]*backendStats
 }
@@ -73,6 +76,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	obs.Sample(w, "rfpsweep_units_done_total", `how="checkpoint"`, m.skipped.Load())
 	obs.Counter(w, "rfpsweep_units_failed_total", "Units that exhausted their retries.", m.failed.Load())
 	obs.Counter(w, "rfpsweep_unit_retries_total", "Extra backend attempts beyond each unit's first.", m.retried.Load())
+	obs.Counter(w, "rfpsim_check_violations_total", "Runtime invariant violations across check_diff units (docs/checking.md).", m.checkViolations.Load())
+	obs.Counter(w, "rfpsweep_diff_divergences_total", "check_diff units whose committed digests diverged.", m.diffDivergences.Load())
 
 	m.mu.Lock()
 	names := make([]string, 0, len(m.backends))

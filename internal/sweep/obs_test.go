@@ -27,6 +27,12 @@ rfpsweep_units_failed_total 0
 # HELP rfpsweep_unit_retries_total Extra backend attempts beyond each unit's first.
 # TYPE rfpsweep_unit_retries_total counter
 rfpsweep_unit_retries_total 0
+# HELP rfpsim_check_violations_total Runtime invariant violations across check_diff units (docs/checking.md).
+# TYPE rfpsim_check_violations_total counter
+rfpsim_check_violations_total 0
+# HELP rfpsweep_diff_divergences_total check_diff units whose committed digests diverged.
+# TYPE rfpsweep_diff_divergences_total counter
+rfpsweep_diff_divergences_total 0
 # HELP rfpsweep_backend_requests_total Requests per backend endpoint.
 # TYPE rfpsweep_backend_requests_total counter
 # HELP rfpsweep_backend_errors_total Failed requests per backend endpoint.

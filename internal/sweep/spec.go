@@ -30,6 +30,17 @@ type Spec struct {
 	// Name labels the sweep; it prefixes every unit label (and therefore
 	// every CSV "experiment" cell).
 	Name string `json:"name"`
+	// Mode selects what each grid point runs: "sim" (the default, and
+	// what the empty string means) simulates and reports IPC;
+	// "check_diff" runs the differential correctness oracle of
+	// internal/check against every grid point instead — each
+	// configuration is paired with a derived base (DiffMode) and the
+	// committed architectural digests are compared. See docs/checking.md.
+	Mode string `json:"mode,omitempty"`
+	// DiffMode names the check pairing for mode "check_diff": one of
+	// check.Modes ("norfp", "novp", "nolatealloc", "baseline", "full");
+	// empty means "norfp". Only valid with mode "check_diff".
+	DiffMode string `json:"diff_mode,omitempty"`
 	// Workloads lists catalog entries to sweep over. An entry may also be
 	// "all" (the whole catalog) or "category:<name>" (one Table 3
 	// category). Duplicates after expansion are rejected.
@@ -91,8 +102,21 @@ func ParseSpec(data []byte) (*Spec, error) {
 	if len(s.Workloads) == 0 {
 		return nil, fmt.Errorf("sweep: spec needs at least one workload")
 	}
+	switch s.Mode {
+	case "", "sim":
+		if s.DiffMode != "" {
+			return nil, fmt.Errorf("sweep: diff_mode %q needs mode \"check_diff\"", s.DiffMode)
+		}
+	case "check_diff":
+	default:
+		return nil, fmt.Errorf("sweep: unknown mode %q (supported: sim, check_diff)", s.Mode)
+	}
 	return &s, nil
 }
+
+// CheckDiff reports whether this spec runs the differential oracle
+// instead of plain simulations.
+func (s *Spec) CheckDiff() bool { return s.Mode == "check_diff" }
 
 // workloads expands the workload selectors against the catalog.
 func (s *Spec) workloads() ([]trace.Spec, error) {
@@ -186,6 +210,9 @@ func axisLabel(ax Axis, v json.RawMessage) string {
 // resolving to the same simulation) are rejected rather than silently
 // collapsed, since they would make "done units" ambiguous on resume.
 func (s *Spec) Expand() ([]Unit, error) {
+	if s.CheckDiff() {
+		return nil, fmt.Errorf("sweep: mode \"check_diff\" expands with ExpandDiff, not Expand")
+	}
 	specs, err := s.workloads()
 	if err != nil {
 		return nil, err

@@ -7,9 +7,9 @@ import (
 	"rfpsim/internal/isa"
 )
 
-// FuzzReaderNeverPanics feeds arbitrary bytes to the trace reader: it must
+// FuzzTracefileDecode feeds arbitrary bytes to the trace reader: it must
 // reject or decode them without panicking, and never loop forever.
-func FuzzReaderNeverPanics(f *testing.F) {
+func FuzzTracefileDecode(f *testing.F) {
 	// Seed with a valid one-record trace and a few corruptions.
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
