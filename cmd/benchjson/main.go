@@ -6,12 +6,19 @@
 // Usage:
 //
 //	benchjson [-bench regexp] [-benchtime 1x] [-out BENCH_<date>.json]
+//	          [-date YYYY-MM-DD] [-compare BENCH_<date>.json]
 //
-// The default output name embeds today's date (BENCH_2006-01-02.json).
-// The file records the toolchain, host shape and every benchmark's full
-// metric set — the standard ns/op, B/op and allocs/op plus the custom
-// experiment metrics (speedup_pct, coverage_pct, ...) bench_test.go
-// reports.
+// The default output name embeds the run date (BENCH_2006-01-02.json);
+// -date overrides the stamp so CI runs are reproducible. The file records
+// the toolchain, host shape and every benchmark's full metric set — the
+// standard ns/op, B/op and allocs/op plus the custom experiment metrics
+// (speedup_pct, coverage_pct, ...) bench_test.go reports.
+//
+// With -compare, the fresh run is additionally diffed against a committed
+// baseline file and the command exits non-zero when a shared benchmark
+// regresses: uops/s dropping more than -max-uops-drop (default 10%), or
+// allocs/op growing more than -max-allocs-growth (default 0: any increase
+// fails, guarding the zero-alloc cycle loop). This is the CI perf gate.
 package main
 
 import (
@@ -56,16 +63,23 @@ type Report struct {
 
 func main() {
 	var (
-		bench     = flag.String("bench", ".", "benchmark selection regexp (go test -bench)")
-		benchtime = flag.String("benchtime", "1x", "per-benchmark budget (go test -benchtime)")
-		out       = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		bench      = flag.String("bench", ".", "benchmark selection regexp (go test -bench)")
+		benchtime  = flag.String("benchtime", "1x", "per-benchmark budget (go test -benchtime)")
+		out        = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		date       = flag.String("date", "", "date stamp for the report and default filename (default today)")
+		compare    = flag.String("compare", "", "baseline BENCH_*.json to gate the fresh run against")
+		maxDrop    = flag.Float64("max-uops-drop", 0.10, "max fractional uops/s drop vs baseline before failing")
+		maxAllocUp = flag.Float64("max-allocs-growth", 0, "max fractional allocs/op growth vs baseline before failing")
 	)
 	flag.Parse()
 
-	date := time.Now().Format("2006-01-02")
+	stamp := *date
+	if stamp == "" {
+		stamp = time.Now().Format("2006-01-02")
+	}
 	path := *out
 	if path == "" {
-		path = "BENCH_" + date + ".json"
+		path = "BENCH_" + stamp + ".json"
 	}
 
 	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
@@ -74,6 +88,13 @@ func main() {
 	outBytes, err := cmd.Output()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: go test -bench failed: %v\n%s", err, outBytes)
+		os.Exit(1)
+	}
+	// A zero exit status is not proof the stream is whole: verify the run
+	// terminated cleanly so a truncated or partially failed benchmark
+	// stream never produces a silently shorter report.
+	if err := CheckBenchStream(string(outBytes)); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n%s", err, outBytes)
 		os.Exit(1)
 	}
 
@@ -88,7 +109,7 @@ func main() {
 	}
 
 	rep := Report{
-		Date:       date,
+		Date:       stamp,
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -113,6 +134,99 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %d benchmark results to %s\n", len(results), path)
+
+	if *compare == "" {
+		return
+	}
+	baseBytes, err := os.ReadFile(*compare)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var baseline Report
+	if err := json.Unmarshal(baseBytes, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parsing baseline %s: %v\n", *compare, err)
+		os.Exit(1)
+	}
+	regs, err := CompareReports(baseline, rep, *maxDrop, *maxAllocUp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) vs %s (%s):\n", len(regs), *compare, baseline.Date)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("no regressions vs %s (%s)\n", *compare, baseline.Date)
+}
+
+// Regression is one perf-gate violation: a shared benchmark whose gated
+// metric moved past its allowed bound.
+type Regression struct {
+	Bench  string
+	Metric string
+	Old    float64
+	New    float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %g -> %g", r.Bench, r.Metric, r.Old, r.New)
+}
+
+// CompareReports gates current against baseline. Only benchmarks present
+// in both reports are compared (the gate typically re-runs a throughput
+// subset of a full-suite baseline); an empty intersection is an error so a
+// misconfigured selection regexp cannot pass vacuously. For each shared
+// benchmark, uops/s may not drop by more than maxUopsDrop (fractional) and
+// allocs/op may not grow by more than maxAllocsGrowth; with a zero-alloc
+// baseline any allocation at all fails.
+func CompareReports(baseline, current Report, maxUopsDrop, maxAllocsGrowth float64) ([]Regression, error) {
+	base := make(map[string]Result, len(baseline.Benchmarks))
+	for _, r := range baseline.Benchmarks {
+		base[r.Name] = r
+	}
+	var regs []Regression
+	shared := 0
+	for _, cur := range current.Benchmarks {
+		old, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		shared++
+		if ov, ok := old.Metrics["uops/s"]; ok {
+			if nv, ok := cur.Metrics["uops/s"]; ok && nv < ov*(1-maxUopsDrop) {
+				regs = append(regs, Regression{cur.Name, "uops/s", ov, nv})
+			}
+		}
+		if ov, ok := old.Metrics["allocs/op"]; ok {
+			if nv, ok := cur.Metrics["allocs/op"]; ok && nv > ov*(1+maxAllocsGrowth) {
+				regs = append(regs, Regression{cur.Name, "allocs/op", ov, nv})
+			}
+		}
+	}
+	if shared == 0 {
+		return nil, fmt.Errorf("no benchmarks shared between baseline (%d) and current run (%d); check the -bench selection",
+			len(baseline.Benchmarks), len(current.Benchmarks))
+	}
+	return regs, nil
+}
+
+// CheckBenchStream verifies a `go test -bench` stream ran to completion:
+// no benchmark reported a failure mid-stream, and the trailing PASS/ok
+// markers are present (their absence means the stream was truncated — an
+// OOM-killed or crashed test binary can exit before the tail without the
+// parent seeing a useful status).
+func CheckBenchStream(out string) error {
+	if strings.Contains(out, "--- FAIL") {
+		return fmt.Errorf("a benchmark failed mid-stream")
+	}
+	if !strings.Contains(out, "\nPASS") && !strings.HasPrefix(out, "PASS") {
+		return fmt.Errorf("benchmark stream has no PASS marker (truncated output?)")
+	}
+	return nil
 }
 
 // ParseBenchOutput extracts benchmark result lines from `go test -bench`

@@ -61,3 +61,89 @@ func TestTrimProcs(t *testing.T) {
 		}
 	}
 }
+
+// report builds a single-benchmark Report for the compare tests.
+func report(name string, metrics map[string]float64) Report {
+	return Report{Benchmarks: []Result{{Name: name, Iterations: 1, Metrics: metrics}}}
+}
+
+func TestCompareReportsGatesUopsDrop(t *testing.T) {
+	base := report("BenchmarkRFPSimulatorThroughput",
+		map[string]float64{"uops/s": 1_500_000, "allocs/op": 0})
+
+	// A planted >10% throughput regression must fail the gate.
+	bad := report("BenchmarkRFPSimulatorThroughput",
+		map[string]float64{"uops/s": 1_200_000, "allocs/op": 0})
+	regs, err := CompareReports(base, bad, 0.10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "uops/s" {
+		t.Fatalf("planted 20%% uops/s drop produced %v, want one uops/s regression", regs)
+	}
+
+	// A drop inside the tolerance passes.
+	ok := report("BenchmarkRFPSimulatorThroughput",
+		map[string]float64{"uops/s": 1_400_000, "allocs/op": 0})
+	regs, err = CompareReports(base, ok, 0.10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("7%% drop within tolerance flagged: %v", regs)
+	}
+}
+
+func TestCompareReportsGatesAllocsGrowth(t *testing.T) {
+	base := report("BenchmarkSimulatorThroughput",
+		map[string]float64{"uops/s": 1_000_000, "allocs/op": 0})
+	// Any allocation against a zero-alloc baseline fails.
+	bad := report("BenchmarkSimulatorThroughput",
+		map[string]float64{"uops/s": 1_000_000, "allocs/op": 1})
+	regs, err := CompareReports(base, bad, 0.10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("alloc regression vs zero baseline produced %v, want one allocs/op regression", regs)
+	}
+}
+
+func TestCompareReportsIntersection(t *testing.T) {
+	base := Report{Benchmarks: []Result{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"uops/s": 100, "allocs/op": 5}},
+		{Name: "BenchmarkB", Metrics: map[string]float64{"allocs/op": 7}},
+	}}
+	// Benchmarks only in the baseline are ignored; metrics missing on
+	// either side are skipped.
+	cur := Report{Benchmarks: []Result{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"uops/s": 99, "allocs/op": 5}},
+	}}
+	regs, err := CompareReports(base, cur, 0.10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+
+	// An empty intersection is a gate misconfiguration, not a pass.
+	if _, err := CompareReports(base, report("BenchmarkC", map[string]float64{"uops/s": 1}), 0.10, 0); err == nil {
+		t.Error("disjoint benchmark sets compared without error")
+	}
+}
+
+func TestCheckBenchStream(t *testing.T) {
+	good := "goos: linux\nBenchmarkX-8 10 5 ns/op\nPASS\nok  \trfpsim\t1.2s\n"
+	if err := CheckBenchStream(good); err != nil {
+		t.Errorf("clean stream rejected: %v", err)
+	}
+	midFail := "BenchmarkX-8 10 5 ns/op\n--- FAIL: BenchmarkY\nFAIL\n"
+	if err := CheckBenchStream(midFail); err == nil {
+		t.Error("mid-stream benchmark failure accepted")
+	}
+	truncated := "goos: linux\nBenchmarkX-8 10 5 ns/op\n"
+	if err := CheckBenchStream(truncated); err == nil {
+		t.Error("truncated stream (no PASS marker) accepted")
+	}
+}

@@ -131,7 +131,7 @@ func (c *Core) retire(e *entry) {
 	if c.chk != nil {
 		c.chk.observeRetire(c, e)
 	}
-	c.tracef("commit    %s", traceUop(&e.op))
+	c.traceUopEvent("commit    ", &e.op)
 	if c.onRetire != nil {
 		c.onRetire(e)
 	}
@@ -171,9 +171,12 @@ func (c *Core) flushFrom(fromOff int, refetch bool) {
 		c.requeueFetchQ(nil)
 		return
 	}
-	c.tracef("flush     from-offset=%d squashing=%d", fromOff, c.robCount-fromOff)
-	// Collect squashed uops oldest-first and undo their bookkeeping.
-	squashed := make([]isa.MicroOp, 0, c.robCount-fromOff)
+	c.traceFlush(fromOff, c.robCount-fromOff)
+	// Collect squashed uops oldest-first and undo their bookkeeping. The
+	// collection buffer is owned by the Core and reused across flushes
+	// (its contents are copied into the replay buffer before this
+	// function returns), keeping branch-mispredict recovery off the heap.
+	squashed := c.squashBuf[:0]
 	firstSeq := uint64(0)
 	for off := fromOff; off < c.robCount; off++ {
 		e := &c.rob[c.robIndex(off)]
@@ -246,6 +249,7 @@ func (c *Core) flushFrom(fromOff int, refetch bool) {
 		}
 	}
 
+	c.squashBuf = squashed // keep any capacity growth for the next flush
 	if refetch {
 		c.requeueFetchQ(squashed)
 	}
@@ -264,9 +268,11 @@ func (c *Core) flushFrom(fromOff int, refetch bool) {
 
 // requeueFetchQ returns squashed ROB uops plus the current fetch queue to
 // the front of the replay buffer, in program order, undoing fetch-time
-// predictor allocations.
+// predictor allocations. The merged buffer is built in a Core-owned
+// scratch slice and swapped with the replay buffer, so steady-state
+// flushes reuse the two backing arrays instead of allocating.
 func (c *Core) requeueFetchQ(squashed []isa.MicroOp) {
-	var tail []isa.MicroOp
+	merged := append(c.mergeBuf[:0], squashed...)
 	for i := c.fetchHead; i < len(c.fetchQ); i++ {
 		f := &c.fetchQ[i]
 		if f.dlvpPredicted {
@@ -274,19 +280,19 @@ func (c *Core) requeueFetchQ(squashed []isa.MicroOp) {
 		}
 		op := f.op
 		op.Seq = 0
-		tail = append(tail, op)
+		merged = append(merged, op)
 	}
 	c.fetchQ = c.fetchQ[:0]
 	c.fetchHead = 0
 
-	if len(squashed) == 0 && len(tail) == 0 {
+	if len(merged) == 0 {
+		c.mergeBuf = merged
 		return
 	}
-	rest := c.pending[c.pendingHead:]
-	merged := make([]isa.MicroOp, 0, len(squashed)+len(tail)+len(rest))
-	merged = append(merged, squashed...)
-	merged = append(merged, tail...)
-	merged = append(merged, rest...)
+	merged = append(merged, c.pending[c.pendingHead:]...)
+	// Swap buffers: the old replay backing array becomes the next flush's
+	// scratch (its live contents were just copied into merged).
+	c.mergeBuf = c.pending[:0]
 	c.pending = merged
 	c.pendingHead = 0
 }

@@ -88,6 +88,17 @@ type Core struct {
 	nextSeq           uint64
 	genDone           bool
 	ffConsumed        uint64 // uops consumed functionally by FastForward
+	// fetchOp is fetch's generator scratch uop. A stack-local would escape
+	// through the Generator interface call and heap-allocate once per
+	// fetched uop; hoisting it here keeps the frontend zero-alloc.
+	fetchOp isa.MicroOp
+
+	// squashBuf and mergeBuf are flushFrom/requeueFetchQ scratch storage,
+	// reused across branch-mispredict and value-misprediction flushes so
+	// recovery never allocates in steady state (see the hot-loop
+	// allocation budget in docs/architecture.md).
+	squashBuf []isa.MicroOp
+	mergeBuf  []isa.MicroOp
 
 	// Per-cycle port budgets (reset each cycle).
 	aluUsed, fpUsed, loadUsed, storeUsed, branchUsed int

@@ -22,19 +22,22 @@ func (c *Core) fetch() {
 	// indefinitely.
 	maxQ := 4 * c.cfg.Width * c.cfg.FrontendLatency
 	for i := 0; i < c.cfg.Width && c.fetchQLen() < maxQ; i++ {
-		var op isa.MicroOp
+		// The scratch uop lives on the Core: a local here escapes through
+		// the Generator interface call and costs one heap allocation per
+		// fetched uop.
+		op := &c.fetchOp
 		if c.pendingHead < len(c.pending) {
-			op = c.pending[c.pendingHead]
+			*op = c.pending[c.pendingHead]
 			c.pendingHead++
 			if c.pendingHead == len(c.pending) {
 				c.pending = c.pending[:0]
 				c.pendingHead = 0
 			}
-		} else if !genNext(c, &op) {
+		} else if !genNext(c, op) {
 			return
 		}
 		f := fetched{
-			op:          op,
+			op:          *op,
 			readyAt:     c.cycle + uint64(c.cfg.FrontendLatency),
 			pathAtFetch: c.fetchPath,
 		}
@@ -223,7 +226,7 @@ func (c *Core) dispatchOne(f fetched) {
 	c.robCount++
 	c.rsCount++
 	e.inRS = true
-	c.tracef("dispatch  %s", traceUop(&e.op))
+	c.traceUopEvent("dispatch  ", &e.op)
 
 	switch {
 	case f.op.IsLoad():

@@ -137,7 +137,7 @@ func (c *Core) releaseDstAtSquash(e *entry) {
 
 // completeAt marks e issued with the given completion time.
 func (c *Core) completeAt(e *entry, done uint64) {
-	c.tracef("issue     %s done=%d", traceUop(&e.op), done)
+	c.traceIssue(&e.op, done)
 	e.issued = true
 	e.inRS = false
 	c.rsCount--
@@ -250,7 +250,7 @@ func (c *Core) issueLoad(e *entry, myOff int) bool {
 			c.st.RFP.Dropped++
 			e.rfp = rfpDropped
 		} else if !e.rfpMDStale && e.rfpAddr == e.op.Addr {
-			c.tracef("rfp-hit   %s fill=%d", traceUop(&e.op), e.rfpFillAt)
+			c.traceRFPHit(&e.op, e.rfpFillAt)
 			if c.profile != nil {
 				// Slack >= 0: data arrived at or before issue (the load is
 				// fully hidden); -1: the fill is still in flight (partial).

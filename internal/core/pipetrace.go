@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"rfpsim/internal/isa"
+	"rfpsim/internal/stats"
 )
 
 // pipeTrace streams human-readable pipeline events for a cycle window —
@@ -15,6 +16,14 @@ import (
 //	cycle 1042 rfp-exec  seq=87 addr=0x8000040 fill=1047 armed=1044
 //	cycle 1045 issue     seq=87 pc=0x20004 load
 //	cycle 1046 commit    seq=85 pc=0x20008 alu
+//
+// Lazy-tracing contract: the simulator's cycle loop must stay zero-alloc
+// when tracing is detached or the cycle is outside the window, so no event
+// helper in this file may format, box, or build anything before its
+// traceActive guard passes. Pipeline stages emit events only through the
+// typed trace* helpers below (never fmt-style varargs at the call site,
+// whose arguments are evaluated — and allocate — eagerly); every helper
+// checks traceActive first and only then renders the line.
 type pipeTrace struct {
 	w          io.Writer
 	from, to   uint64
@@ -39,9 +48,19 @@ func (c *Core) PipeTraceEvents() uint64 {
 	return c.pipe.eventCount
 }
 
-// tracef emits one event line when tracing is active for this cycle.
+// traceActive reports whether the current cycle's events are being traced.
+// It is the only tracing cost the hot loop pays: two compares, no
+// allocation, inlinable.
+func (c *Core) traceActive() bool {
+	return c.pipe != nil && c.cycle >= c.pipe.from && c.cycle < c.pipe.to
+}
+
+// tracef emits one event line. Callers must have passed traceActive: the
+// guard here is a backstop for correctness (the window check must never be
+// skipped), not a license to call this from the hot path — the vararg
+// boxing at a tracef call site allocates even when tracing is off.
 func (c *Core) tracef(format string, args ...interface{}) {
-	if c.pipe == nil || c.cycle < c.pipe.from || c.cycle >= c.pipe.to {
+	if !c.traceActive() {
 		return
 	}
 	c.pipe.eventCount++
@@ -50,8 +69,15 @@ func (c *Core) tracef(format string, args ...interface{}) {
 	io.WriteString(c.pipe.w, "\n")
 }
 
+// traceUopCalls counts traceUop invocations. The eager-argument bug this
+// file's contract exists to prevent had traceUop running for every uop
+// while tracing was detached; TestTraceUopLazyWhenDetached pins the count
+// at zero so the bug cannot silently return.
+var traceUopCalls uint64
+
 // traceUop renders the identity of a uop for event lines.
 func traceUop(op *isa.MicroOp) string {
+	traceUopCalls++
 	switch {
 	case op.IsLoad():
 		return fmt.Sprintf("seq=%d pc=%#x load addr=%#x", op.Seq, op.PC, op.Addr)
@@ -62,4 +88,47 @@ func traceUop(op *isa.MicroOp) string {
 	default:
 		return fmt.Sprintf("seq=%d pc=%#x %s", op.Seq, op.PC, op.Class)
 	}
+}
+
+// traceUopEvent emits "<stage> <uop identity>" for dispatch/commit-style
+// events. stage carries its own column padding so the line format stays
+// byte-identical to the golden trace.
+func (c *Core) traceUopEvent(stage string, op *isa.MicroOp) {
+	if !c.traceActive() {
+		return
+	}
+	c.tracef("%s%s", stage, traceUop(op))
+}
+
+// traceIssue emits the issue event with its completion cycle.
+func (c *Core) traceIssue(op *isa.MicroOp, done uint64) {
+	if !c.traceActive() {
+		return
+	}
+	c.tracef("issue     %s done=%d", traceUop(op), done)
+}
+
+// traceRFPHit emits the rfp-hit event for a load consuming prefetched data.
+func (c *Core) traceRFPHit(op *isa.MicroOp, fillAt uint64) {
+	if !c.traceActive() {
+		return
+	}
+	c.tracef("rfp-hit   %s fill=%d", traceUop(op), fillAt)
+}
+
+// traceRFPExec emits the rfp-exec event for a granted prefetch request.
+func (c *Core) traceRFPExec(seq, addr, fillAt, armedAt uint64, level int) {
+	if !c.traceActive() {
+		return
+	}
+	c.tracef("rfp-exec  seq=%d addr=%#x fill=%d armed=%d level=%s",
+		seq, addr, fillAt, armedAt, stats.LevelName(level))
+}
+
+// traceFlush emits the flush event for a pipeline squash.
+func (c *Core) traceFlush(fromOff, squashing int) {
+	if !c.traceActive() {
+		return
+	}
+	c.tracef("flush     from-offset=%d squashing=%d", fromOff, squashing)
 }

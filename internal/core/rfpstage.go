@@ -137,8 +137,7 @@ func (c *Core) rfpArbitrate() {
 			}
 		}
 		c.st.RFP.Executed++
-		c.tracef("rfp-exec  seq=%d addr=%#x fill=%d armed=%d level=%s",
-			e.op.Seq, pkt.Addr, e.rfpFillAt, e.rfpArmedAt, stats.LevelName(res.Level))
+		c.traceRFPExec(e.op.Seq, pkt.Addr, e.rfpFillAt, e.rfpArmedAt, res.Level)
 	}
 }
 

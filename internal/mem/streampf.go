@@ -10,6 +10,9 @@ type streamPrefetcher struct {
 	stamp   uint64
 	// degree is how many lines ahead a confirmed stream fetches.
 	degree int
+	// scratch backs observeMiss's return value, so a confirmed miss on
+	// the demand path never allocates; see observeMiss's aliasing note.
+	scratch []uint64
 }
 
 type streamEntry struct {
@@ -25,12 +28,14 @@ func newStreamPrefetcher(degree int) *streamPrefetcher {
 	if degree <= 0 {
 		degree = 2
 	}
-	return &streamPrefetcher{degree: degree}
+	return &streamPrefetcher{degree: degree, scratch: make([]uint64, 0, degree)}
 }
 
 // observeMiss records a demand miss to lineAddr and returns the line
 // addresses worth prefetching (empty until a stream direction is
-// confirmed twice).
+// confirmed twice). The returned slice aliases prefetcher-owned scratch
+// storage and is only valid until the next observeMiss call; callers
+// consume it immediately (as the hierarchy's miss path does).
 func (p *streamPrefetcher) observeMiss(lineAddr uint64) []uint64 {
 	region := lineAddr >> 12
 	p.stamp++
@@ -80,7 +85,7 @@ func (p *streamPrefetcher) observeMiss(lineAddr uint64) []uint64 {
 		return nil
 	}
 
-	out := make([]uint64, 0, p.degree)
+	out := p.scratch[:0]
 	step := int64(dir) * 64
 	next := int64(lineAddr)
 	for i := 0; i < p.degree; i++ {

@@ -42,13 +42,16 @@ type tageEntry struct {
 	u   uint8 // 2-bit usefulness
 }
 
+// tageCtx is copied by value into t.last on every prediction, so its
+// per-table lookup state is fixed-size arrays rather than slices: Predict
+// runs once per fetched branch and must not allocate.
 type tageCtx struct {
 	pc        uint64
 	provider  int // table index, -1 = base
 	altPred   bool
 	provPred  bool
-	provIdx   []int
-	provTag   []uint16
+	provIdx   [tageTables]int
+	provTag   [tageTables]uint16
 	weakEntry bool
 	valid     bool
 }
@@ -118,8 +121,7 @@ func (t *TAGE) basePred(pc uint64) bool {
 // Predict returns the predicted direction for pc and caches the lookup
 // context for the matching Update call.
 func (t *TAGE) Predict(pc uint64) bool {
-	ctx := tageCtx{pc: pc, provider: -1, valid: true,
-		provIdx: make([]int, tageTables), provTag: make([]uint16, tageTables)}
+	ctx := tageCtx{pc: pc, provider: -1, valid: true}
 	for ti := range t.tables {
 		ctx.provIdx[ti] = t.tableIndex(ti, pc)
 		ctx.provTag[ti] = t.tableTag(ti, pc)
