@@ -5,18 +5,24 @@
 // Usage:
 //
 //	rfpsim -workload spec06_mcf [-rfp] [-vp eves|dlvp|composite|epp]
-//	       [-oracle l1|l2|llc|mem] [-2x] [-warmup N] [-measure N] [-seed S]
+//	       [-oracle l1|l2|llc|mem] [-prefetcher stream|spp|sisb|managed]
+//	       [-2x] [-warmup N] [-measure N] [-seed S]
 //	       [-sample] [-sample-interval N] [-sample-maxk K] [-sample-warmup N]
 //	       [-checks] [-v] [-cpuprofile out.pprof]
 //	rfpsim -workload all -diff norfp [-measure N] [-diff-interval N]
 //	rfpsim -listworkloads
 //
+// -prefetcher enables an L1 hardware cache prefetcher from the zoo
+// (docs/prefetchers.md): "stream" (sequential), "spp" (signature-path),
+// "sisb" (temporal) or "managed" (adaptive selection among the three).
+//
 // -diff runs the differential correctness harness (docs/checking.md):
 // the flag-built configuration is paired against a derived baseline
-// (norfp, novp, nolatealloc, baseline, or full for sampled-vs-full) and
-// the committed architectural traces are compared; any divergence is
-// localized to its first divergent interval and uop and exits non-zero.
-// -checks enables the runtime invariant layer on a normal run.
+// (norfp, novp, nolatealloc, nopf, baseline, or full for
+// sampled-vs-full) and the committed architectural traces are compared;
+// any divergence is localized to its first divergent interval and uop
+// and exits non-zero. -checks enables the runtime invariant layer on a
+// normal run.
 //
 // -v turns on debug logging and prints a per-stage wall-time breakdown
 // (fast-forward / warmup / measure / aggregate, plus profile under
@@ -66,8 +72,9 @@ func main() {
 		profile   = flag.Bool("profile", false, "print per-PC load profile (top 15) after the run")
 
 		lateAlloc = flag.Bool("latealloc", false, "late register allocation (§3.3 pipeline variation)")
+		pfName    = flag.String("prefetcher", "", "L1 hardware prefetcher: stream, spp, sisb or managed (docs/prefetchers.md)")
 		doChecks  = flag.Bool("checks", false, "enable the runtime invariant layer (docs/checking.md)")
-		diffMode  = flag.String("diff", "", "differential harness: norfp, novp, nolatealloc, baseline or full")
+		diffMode  = flag.String("diff", "", "differential harness: norfp, novp, nolatealloc, nopf, baseline or full")
 		diffIntvl = flag.Uint64("diff-interval", 0, "divergence-localization interval in uops (0 = default 1000)")
 
 		doSample  = flag.Bool("sample", false, "SimPoint-style sampled simulation (see docs/sampling.md)")
@@ -135,7 +142,14 @@ func main() {
 		cfg.LateRegAlloc = true
 		cfg.Name += "+latealloc"
 	}
+	if *pfName != "" {
+		cfg = cfg.WithPrefetcher(*pfName)
+	}
 	cfg.Checks.Enabled = *doChecks
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	// Ctrl-C / SIGTERM cancels the in-flight simulation promptly instead
 	// of leaving it to run to completion.
@@ -330,6 +344,15 @@ func printStats(cfgName string, spec trace.Spec, st *stats.Sim) {
 			stats.Pct(st.RFPInjectedFrac()), stats.Pct(st.RFPExecutedFrac()),
 			stats.Pct(st.RFPCoverage()), stats.Pct(st.RFPWrongFrac()),
 			stats.Pct(float64(st.RFP.FullyHidden)/float64(st.Loads)))
+	}
+	if st.L1PF.Issued > 0 {
+		fmt.Printf("L1PF       issued %d, useful %d (coverage %s, accuracy %s), late %d, unused %d, dropped %d\n",
+			st.L1PF.Issued, st.L1PF.Useful, stats.Pct(st.L1PFCoverage()),
+			stats.Pct(st.L1PFAccuracy()), st.L1PF.Late, st.L1PF.Unused, st.L1PF.Dropped)
+		if st.L1PF.ManagerEpochs > 0 {
+			fmt.Printf("L1PF mgr   epochs %d, switches %d, throttled %d\n",
+				st.L1PF.ManagerEpochs, st.L1PF.ManagerSwitches, st.L1PF.ManagerThrottledEpochs)
+		}
 	}
 	if st.VP.Predicted > 0 {
 		fmt.Printf("VP         predicted %s of loads, mispredicted %d (flushes %d)\n",

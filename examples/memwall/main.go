@@ -55,6 +55,24 @@ func main() {
 		fmt.Printf("  %-8s %s\n", o, stats.Pct(stats.GeoMeanSpeedup(sp)))
 	}
 	fmt.Println("\nDespite a 40x latency gap, the L1->RF and Mem->LLC walls are comparable.")
+
+	// The other side of the wall: cache prefetchers remove misses instead
+	// of hiding hit latency (docs/prefetchers.md). SPP is the non-default
+	// scheme here — signature-path lookahead rather than next-line
+	// streaming — composed with RFP on top.
+	fmt.Println("\nL1 prefetcher zoo under RFP (speedup vs plain baseline):")
+	for _, name := range []string{"stream", "spp"} {
+		runs := runAll(config.Baseline().WithRFP().WithPrefetcher(name))
+		var sp []float64
+		var cov, acc float64
+		for i := range base {
+			sp = append(sp, stats.Speedup(base[i], runs[i]))
+			cov += runs[i].L1PFCoverage() / float64(len(runs))
+			acc += runs[i].L1PFAccuracy() / float64(len(runs))
+		}
+		fmt.Printf("  rfp+%-7s %s  (L1PF coverage %s, accuracy %s)\n",
+			name, stats.Pct(stats.GeoMeanSpeedup(sp)), stats.Pct(cov), stats.Pct(acc))
+	}
 }
 
 func runAll(cfg config.Core) []*stats.Sim {

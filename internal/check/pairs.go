@@ -13,11 +13,14 @@ import (
 //	norfp       — variant with RFP disabled (RFP-invariance)
 //	novp        — variant with value prediction disabled
 //	nolatealloc — variant with late register allocation disabled
+//	nopf        — variant with the L1 hardware prefetcher disabled
+//	              (prefetcher-invariance: timing-only, architecturally
+//	              invisible)
 //	baseline    — the plain Baseline/Baseline2x core (every mechanism off)
 //	full        — the same configuration run full-window; the variant
 //	              side runs sampled (requires a sampling spec)
 func Modes() []string {
-	return []string{"norfp", "novp", "nolatealloc", "baseline", "full"}
+	return []string{"norfp", "novp", "nolatealloc", "nopf", "baseline", "full"}
 }
 
 // BaseFor derives the base configuration for a named diff mode.
@@ -42,6 +45,12 @@ func BaseFor(mode string, variant config.Core) (base config.Core, sampledVsFull 
 		base = variant
 		base.LateRegAlloc = false
 		base.Name += "-nolatealloc"
+		return base, false, nil
+	case "nopf":
+		base = variant
+		base.Mem.Prefetcher = ""
+		base.Mem.HWPrefetch = false
+		base.Name += "-nopf"
 		return base, false, nil
 	case "baseline":
 		base = variant

@@ -1,0 +1,63 @@
+package check
+
+import (
+	"testing"
+
+	"rfpsim/internal/config"
+	"rfpsim/internal/trace"
+)
+
+// TestManagedPrefetcherInvarianceAcrossCatalog extends the tier-1
+// semantics suite to the prefetcher zoo: for EVERY catalog workload, the
+// adaptive managed prefetcher (which exercises stream, SPP and SISB
+// underneath, plus the epoch switch/throttle machinery) must commit a
+// byte-identical architectural trace to the same core with no L1
+// prefetcher at all. Cache prefetching moves data, never values — the
+// same invisibility contract RFP is held to.
+func TestManagedPrefetcherInvarianceAcrossCatalog(t *testing.T) {
+	t.Parallel()
+	variant := config.Baseline().WithRFP().WithPrefetcher("managed")
+	base, _, err := BaseFor("nopf", variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range trace.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res := requireClean(t, Differential{
+				Base: base, Variant: variant,
+				Spec: mustSpec(t, name), Uops: 3000,
+			})
+			if res.VariantStats.Loads == 0 {
+				t.Fatal("variant retired no loads — the comparison is vacuous")
+			}
+		})
+	}
+}
+
+// TestStaticPrefetcherInvariance runs the same nopf pairing for each
+// static zoo member on a representative workload subset (one per
+// memory-behavior class: streaming, pointer-chasing, mixed), long enough
+// for every scheme to actually issue prefetches.
+func TestStaticPrefetcherInvariance(t *testing.T) {
+	t.Parallel()
+	for _, pf := range []string{"stream", "spp", "sisb"} {
+		pf := pf
+		for _, wl := range []string{"spec06_libquantum", "spec06_mcf", "spec06_gcc"} {
+			wl := wl
+			t.Run(pf+"/"+wl, func(t *testing.T) {
+				t.Parallel()
+				variant := config.Baseline().WithRFP().WithPrefetcher(pf)
+				base, _, err := BaseFor("nopf", variant)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireClean(t, Differential{
+					Base: base, Variant: variant,
+					Spec: mustSpec(t, wl), Uops: 6000,
+				})
+			})
+		}
+	}
+}

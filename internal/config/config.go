@@ -134,6 +134,36 @@ type MemConfig struct {
 	// HWPrefetchDegree is how many lines ahead a confirmed stream
 	// fetches (default 2).
 	HWPrefetchDegree int
+
+	// Prefetcher selects which L1 hardware prefetcher runs: one of
+	// Prefetchers(), or empty to fall back to the legacy HWPrefetch knob
+	// (which selects "stream"). The field is omitempty in JSON so
+	// configurations predating the prefetcher zoo keep their content
+	// addresses.
+	Prefetcher string `json:",omitempty"`
+}
+
+// Prefetchers lists the valid MemConfig.Prefetcher names:
+//
+//	stream  — Smith-style sequential streams with direction confirmation
+//	spp     — signature-path prefetching with path-confidence throttling
+//	sisb    — temporal (irregular stream buffer) miss-chain replay
+//	managed — adaptive manager selecting among the above per epoch
+func Prefetchers() []string {
+	return []string{"stream", "spp", "sisb", "managed"}
+}
+
+// ActivePrefetcher resolves the effective L1 prefetcher name: Prefetcher
+// when set, "stream" when only the legacy HWPrefetch flag is on, and ""
+// (no prefetching) otherwise.
+func (m *MemConfig) ActivePrefetcher() string {
+	if m.Prefetcher != "" {
+		return m.Prefetcher
+	}
+	if m.HWPrefetch {
+		return "stream"
+	}
+	return ""
 }
 
 // RFPConfig holds the register-file-prefetch parameters of Section 3.
@@ -351,6 +381,15 @@ func (c Core) WithRFP() Core {
 	return c
 }
 
+// WithPrefetcher returns a copy of c with the named L1 hardware
+// prefetcher enabled. The name must be one of Prefetchers(); Validate
+// rejects anything else.
+func (c Core) WithPrefetcher(name string) Core {
+	c.Mem.Prefetcher = name
+	c.Name += "+pf(" + name + ")"
+	return c
+}
+
 // WithVP returns a copy of c with the given value-prediction mode.
 func (c Core) WithVP(mode VPMode) Core {
 	c.VP.Mode = mode
@@ -388,6 +427,19 @@ func (c *Core) Validate() error {
 		return fmt.Errorf("config %q: scheduling depth must be positive", c.Name)
 	case c.BranchPredictor != "" && c.BranchPredictor != "tage" && c.BranchPredictor != "gshare":
 		return fmt.Errorf("config %q: unknown branch predictor %q", c.Name, c.BranchPredictor)
+	}
+	if p := c.Mem.Prefetcher; p != "" {
+		ok := false
+		for _, v := range Prefetchers() {
+			if p == v {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("config %q: unknown prefetcher %q (valid: %v)",
+				c.Name, p, Prefetchers())
+		}
 	}
 	return nil
 }

@@ -119,7 +119,7 @@ func (c *Core) dlvpAtFetch(f *fetched) {
 	}
 	c.loadUsed++
 	c.st.AP.ProbeLaunched++
-	res := c.hier.Access(pred.Addr, c.cycle, false)
+	res := c.hier.Access(pred.Addr, f.op.PC, c.cycle, false)
 	f.probeLaunched = true
 	f.probeAddr = pred.Addr
 	f.probeDoneAt = res.DoneAt

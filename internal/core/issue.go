@@ -178,7 +178,7 @@ func (c *Core) issueStore(e *entry, myOff int) {
 	e.addrKnown = true
 	// Stores fill the cache (write-allocate) but do not stall commit;
 	// the access is fired here for cache-content fidelity.
-	c.hier.Access(e.op.Addr, c.cycle, false)
+	c.hier.Access(e.op.Addr, e.op.PC, c.cycle, false)
 	if c.chk != nil {
 		c.chk.noteStoreIssued(c, e.op.Seq, e.op.Addr, e.op.Value)
 	}
@@ -341,7 +341,7 @@ func (c *Core) issueLoad(e *entry, myOff int) bool {
 		c.chk.trackLoadRead(e)
 	}
 	predictedHit := c.hm.Predict(e.op.PC)
-	res := c.hier.Access(e.op.Addr, c.cycle, true)
+	res := c.hier.Access(e.op.Addr, e.op.PC, c.cycle, true)
 	actualHit := levelIsHit(res.Level)
 	c.hm.Update(e.op.PC, actualHit)
 	e.hitLevel = res.Level

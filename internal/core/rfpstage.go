@@ -99,7 +99,7 @@ func (c *Core) rfpArbitrate() {
 			c.st.RFP.Dropped++
 			continue
 		}
-		res := c.hier.Access(pkt.Addr, c.cycle, false)
+		res := c.hier.Access(pkt.Addr, e.op.PC, c.cycle, false)
 		c.rfpQ.Pop()
 		free--
 		if grants++; grants > maxGrants && c.chk != nil && c.chk.invariants {

@@ -38,6 +38,12 @@ func TestStepZeroAllocs(t *testing.T) {
 	}{
 		{"baseline", config.Baseline()},
 		{"rfp", config.Baseline().WithRFP()},
+		// The prefetcher zoo rides the demand path, so every scheme (and
+		// the adaptive manager, which runs all of them) must honor the
+		// same zero-alloc contract.
+		{"spp", config.Baseline().WithRFP().WithPrefetcher("spp")},
+		{"sisb", config.Baseline().WithRFP().WithPrefetcher("sisb")},
+		{"managed", config.Baseline().WithRFP().WithPrefetcher("managed")},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			c := steadyCore(t, tc.cfg)

@@ -394,6 +394,34 @@ func TestHWPrefetchExperimentShape(t *testing.T) {
 	}
 }
 
+// TestPrefZooShape checks the prefetcher-zoo experiment's plumbing on the
+// tiny subset: every scheme reports sane coverage/accuracy fractions, the
+// cache-prefetching schemes actually issue prefetches, and the managed
+// adaptivity score is a fraction.
+func TestPrefZooShape(t *testing.T) {
+	res, err := ByIDMust("prefzoo").Run(context.Background(), tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"stream", "spp", "sisb", "managed"} {
+		if res.Metrics["issued_kuop_"+k] <= 0 {
+			t.Errorf("%s issued no prefetches", k)
+		}
+		cov, acc := res.Metrics["coverage_"+k], res.Metrics["accuracy_"+k]
+		if cov < 0 || cov > 1 || acc < 0 || acc > 1 {
+			t.Errorf("%s coverage/accuracy out of range: %v / %v", k, cov, acc)
+		}
+	}
+	// The no-prefetcher scheme must report zero L1PF activity.
+	if res.Metrics["issued_kuop_none"] != 0 || res.Metrics["coverage_none"] != 0 {
+		t.Errorf("scheme 'none' reports prefetch activity: %v issued/kuop",
+			res.Metrics["issued_kuop_none"])
+	}
+	if wf := res.Metrics["managed_wins_frac"]; wf < 0 || wf > 1 {
+		t.Errorf("managed_wins_frac = %v", wf)
+	}
+}
+
 // TestRunConfigDeterministicUnderParallelism guards against shared-state
 // races between concurrently simulated workloads: two independent parallel
 // sweeps must produce identical cycle counts.

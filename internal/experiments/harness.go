@@ -242,6 +242,7 @@ func All() []Experiment {
 		{"bandwidth", "Section 5.6 (quantified): L1 access traffic by scheme", runBandwidth},
 		{"critical", "Extension: criticality-targeted RFP (paper future work)", runCritical},
 		{"hwprefetch", "Extension: RFP composed with a hardware cache prefetcher", runHWPrefetch},
+		{"prefzoo", "Extension: L1 prefetcher zoo under RFP (stream/SPP/SISB/managed)", runPrefZoo},
 		{"bpquality", "Extension: branch predictor quality vs RFP gain", runBPQuality},
 		{"latealloc", "Section 3.3 variation: late register allocation", runLateAlloc},
 		{"cycleacct", "Top-down commit-slot accounting (where RFP's gain comes from)", runCycleAccounting},

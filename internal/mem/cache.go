@@ -15,6 +15,7 @@ import (
 type cacheLine struct {
 	tag   uint64
 	valid bool
+	pf    bool   // filled by a hardware prefetch and not yet consumed
 	lru   uint64 // last-touch stamp; higher is more recent
 }
 
@@ -27,6 +28,7 @@ type Cache struct {
 	setMask  uint64
 	lines    []cacheLine // sets*ways, row-major by set
 	stamp    uint64
+	pfUnused uint64 // prefetched lines evicted before any consumption
 }
 
 // NewCache builds a cache with the given geometry. sets must be a power of
@@ -110,7 +112,79 @@ func (c *Cache) Insert(addr uint64) {
 			victim = i
 		}
 	}
+	if set[victim].valid && set[victim].pf {
+		c.pfUnused++
+	}
 	set[victim] = cacheLine{tag: tag, valid: true, lru: c.stamp}
+}
+
+// InsertPrefetched fills the line containing addr like Insert, but marks
+// it prefetched so the hierarchy can attribute the first consumption (or
+// an unconsumed eviction) back to the prefetcher.
+func (c *Cache) InsertPrefetched(addr uint64) {
+	set := c.setFor(addr)
+	tag := c.tagFor(addr)
+	c.stamp++
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.stamp
+			return
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid && set[victim].pf {
+		c.pfUnused++
+	}
+	set[victim] = cacheLine{tag: tag, valid: true, pf: true, lru: c.stamp}
+}
+
+// LookupConsume is Lookup plus prefetch attribution: on a hit it clears
+// and reports the line's prefetched mark, so exactly one demand access
+// gets credited per prefetched fill.
+func (c *Cache) LookupConsume(addr uint64) (hit, wasPrefetched bool) {
+	set := c.setFor(addr)
+	tag := c.tagFor(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.stamp++
+			set[i].lru = c.stamp
+			wasPrefetched = set[i].pf
+			set[i].pf = false
+			return true, wasPrefetched
+		}
+	}
+	return false, false
+}
+
+// ConsumePrefetch clears the prefetched mark on the line containing addr
+// without touching replacement state, reporting whether the mark was set.
+// The hierarchy uses it when a demand access merges with an in-flight
+// prefetch (a "late" prefetch: covered, but not fully).
+func (c *Cache) ConsumePrefetch(addr uint64) bool {
+	set := c.setFor(addr)
+	tag := c.tagFor(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag && set[i].pf {
+			set[i].pf = false
+			return true
+		}
+	}
+	return false
+}
+
+// TakePFUnused returns and resets the count of prefetched lines evicted
+// without ever being consumed (the pollution signal).
+func (c *Cache) TakePFUnused() uint64 {
+	u := c.pfUnused
+	c.pfUnused = 0
+	return u
 }
 
 // Flush invalidates the whole cache.

@@ -43,7 +43,7 @@ type Hierarchy struct {
 
 	inflight []inflightMiss // bounded by MSHR count; small linear scans
 
-	spf *streamPrefetcher // optional hardware stream prefetcher
+	pf Prefetcher // optional L1 hardware prefetcher (stream/spp/sisb/managed)
 
 	st *stats.Sim
 }
@@ -60,8 +60,8 @@ func NewHierarchy(cfg config.MemConfig, oracle config.OracleMode, st *stats.Sim)
 		tlb: NewTLB(cfg.DTLBEntries, cfg.DTLBWays),
 		st:  st,
 	}
-	if cfg.HWPrefetch {
-		h.spf = newStreamPrefetcher(cfg.HWPrefetchDegree)
+	if name := cfg.ActivePrefetcher(); name != "" {
+		h.pf = newPrefetcher(name, cfg.HWPrefetchDegree, st)
 	}
 	h.latency[stats.LevelL1] = uint64(cfg.L1Latency)
 	h.latency[stats.LevelL2] = uint64(cfg.L2Latency)
@@ -118,11 +118,13 @@ func (h *Hierarchy) findInflight(lineAddr uint64) (inflightMiss, bool) {
 }
 
 // Access performs a demand or prefetch access to addr at cycle now and
-// returns where the data was found and when it is usable. countLoad selects
-// whether the access contributes to the Figure 2 load distribution
-// statistics (demand loads and the RFP prefetches that stand in for them
-// do; stores and wrong-address re-accesses pass false).
-func (h *Hierarchy) Access(addr uint64, now uint64, countLoad bool) Result {
+// returns where the data was found and when it is usable. pc is the program
+// counter of the instruction behind the access (0 when the caller has none);
+// the hardware prefetchers train on it. countLoad selects whether the access
+// contributes to the Figure 2 load distribution statistics (demand loads and
+// the RFP prefetches that stand in for them do; stores and wrong-address
+// re-accesses pass false).
+func (h *Hierarchy) Access(addr, pc, now uint64, countLoad bool) Result {
 	line := isa.LineAddr(addr)
 	page := isa.PageFrame(addr)
 	var res Result
@@ -144,8 +146,8 @@ func (h *Hierarchy) Access(addr uint64, now uint64, countLoad bool) Result {
 	// outstanding misses take precedence over (eagerly updated) array
 	// state: a second access to the line is an MSHR merge.
 	occ, earliest := h.purge(start)
-	switch m, merged := h.findInflight(line); {
-	case merged:
+	trueMiss := false
+	if m, merged := h.findInflight(line); merged {
 		// Merge with the outstanding miss: data arrives with the
 		// original fill (plus the L1-pipeline tail to deliver it).
 		res.Level = stats.LevelMSHR
@@ -153,10 +155,26 @@ func (h *Hierarchy) Access(addr uint64, now uint64, countLoad bool) Result {
 		if res.DoneAt < start+h.latency[stats.LevelL1] {
 			res.DoneAt = start + h.latency[stats.LevelL1]
 		}
-	case h.l1.Lookup(line):
+		// A merge with an in-flight *prefetch* is a late prefetch:
+		// covered, but the latency was only partly hidden.
+		if h.pf != nil && h.l1.ConsumePrefetch(line) {
+			h.pf.Hit(line)
+			if h.st != nil {
+				h.st.L1PF.Useful++
+				h.st.L1PF.Late++
+			}
+		}
+	} else if hit, wasPF := h.l1.LookupConsume(line); hit {
 		res.Level = stats.LevelL1
 		res.DoneAt = start + h.latency[stats.LevelL1]
-	default:
+		if wasPF && h.pf != nil {
+			h.pf.Hit(line)
+			if h.st != nil {
+				h.st.L1PF.Useful++
+			}
+		}
+	} else {
+		trueMiss = true
 		// A true miss needs a free MSHR; if all are busy the request
 		// waits for the earliest completion.
 		if occ >= h.cfg.L1MSHRs {
@@ -181,37 +199,49 @@ func (h *Hierarchy) Access(addr uint64, now uint64, countLoad bool) Result {
 			h.llc.Insert(line)
 		}
 		h.inflight = append(h.inflight, inflightMiss{lineAddr: line, fillAt: res.DoneAt})
+	}
 
-		// Hardware stream prefetching: a confirmed sequential miss
-		// pattern pulls the next lines in behind the demand miss, using
-		// leftover MSHRs only.
-		if h.spf != nil {
-			for _, pl := range h.spf.observeMiss(line) {
-				if len(h.inflight) >= h.cfg.L1MSHRs {
-					break
+	// Hardware prefetching: the prefetcher observes every access (hits
+	// train signature/temporal schemes; misses train streams) and its
+	// candidates are issued behind the demand access, using leftover MSHRs
+	// only.
+	if h.pf != nil {
+		ev := AccessEvent{Line: line, PC: pc, Miss: trueMiss, Load: countLoad}
+		for _, pl := range h.pf.Observe(ev) {
+			if len(h.inflight) >= h.cfg.L1MSHRs {
+				if h.st != nil {
+					h.st.L1PF.Dropped++
 				}
-				if h.l1.Contains(pl) {
-					continue
-				}
-				if _, busy := h.findInflight(pl); busy {
-					continue
-				}
-				lvl := stats.LevelMem
-				if h.l2.Lookup(pl) {
-					lvl = stats.LevelL2
-				} else if h.llc.Lookup(pl) {
-					lvl = stats.LevelLLC
-				}
-				fill := start + h.latency[lvl]
-				h.l1.Insert(pl)
-				if lvl >= stats.LevelLLC {
-					h.l2.Insert(pl)
-				}
-				if lvl == stats.LevelMem {
-					h.llc.Insert(pl)
-				}
-				h.inflight = append(h.inflight, inflightMiss{lineAddr: pl, fillAt: fill})
+				break
 			}
+			if h.l1.Contains(pl) {
+				continue
+			}
+			if _, busy := h.findInflight(pl); busy {
+				continue
+			}
+			lvl := stats.LevelMem
+			if h.l2.Lookup(pl) {
+				lvl = stats.LevelL2
+			} else if h.llc.Lookup(pl) {
+				lvl = stats.LevelLLC
+			}
+			fill := start + h.latency[lvl]
+			h.l1.InsertPrefetched(pl)
+			if lvl >= stats.LevelLLC {
+				h.l2.Insert(pl)
+			}
+			if lvl == stats.LevelMem {
+				h.llc.Insert(pl)
+			}
+			h.inflight = append(h.inflight, inflightMiss{lineAddr: pl, fillAt: fill})
+			h.pf.Fill(pl)
+			if h.st != nil {
+				h.st.L1PF.Issued++
+			}
+		}
+		if h.st != nil {
+			h.st.L1PF.Unused += h.l1.TakePFUnused()
 		}
 	}
 

@@ -15,7 +15,7 @@ func testHierarchy(oracle config.OracleMode) (*Hierarchy, *stats.Sim) {
 
 func TestHierarchyColdMissThenHit(t *testing.T) {
 	h, st := testHierarchy(config.OracleNone)
-	r := h.Access(0x10000, 100, true)
+	r := h.Access(0x10000, 0, 100, true)
 	if r.Level != stats.LevelMem {
 		t.Fatalf("cold access level = %s", stats.LevelName(r.Level))
 	}
@@ -27,7 +27,7 @@ func TestHierarchyColdMissThenHit(t *testing.T) {
 		t.Errorf("DoneAt = %d, want 330", r.DoneAt)
 	}
 	// Second access after fill: L1 hit at L1 latency, TLB warm.
-	r2 := h.Access(0x10000, 400, true)
+	r2 := h.Access(0x10000, 0, 400, true)
 	if r2.Level != stats.LevelL1 || r2.TLBMiss {
 		t.Errorf("refill access level=%s tlbmiss=%v", stats.LevelName(r2.Level), r2.TLBMiss)
 	}
@@ -45,9 +45,9 @@ func TestHierarchyColdMissThenHit(t *testing.T) {
 func TestHierarchyMSHRMerge(t *testing.T) {
 	h, st := testHierarchy(config.OracleNone)
 	h.tlb.Insert(0x10000 >> 12)
-	r1 := h.Access(0x10000, 100, true)
+	r1 := h.Access(0x10000, 0, 100, true)
 	// Same line, before the fill completes: MSHR hit, data at the fill.
-	r2 := h.Access(0x10020, 150, true)
+	r2 := h.Access(0x10020, 0, 150, true)
 	if r2.Level != stats.LevelMSHR {
 		t.Fatalf("merged access level = %s", stats.LevelName(r2.Level))
 	}
@@ -58,7 +58,7 @@ func TestHierarchyMSHRMerge(t *testing.T) {
 		t.Error("MSHR stat not recorded")
 	}
 	// After the fill, it is a plain L1 hit.
-	r3 := h.Access(0x10000, r1.DoneAt+1, true)
+	r3 := h.Access(0x10000, 0, r1.DoneAt+1, true)
 	if r3.Level != stats.LevelL1 {
 		t.Errorf("post-fill level = %s", stats.LevelName(r3.Level))
 	}
@@ -67,10 +67,10 @@ func TestHierarchyMSHRMerge(t *testing.T) {
 func TestHierarchyMSHRMergeNeverFasterThanL1(t *testing.T) {
 	h, _ := testHierarchy(config.OracleNone)
 	h.tlb.Insert(0)
-	r1 := h.Access(0, 100, true)
+	r1 := h.Access(0, 0, 100, true)
 	// Merge one cycle before the fill: data cannot appear faster than an
 	// L1 pipeline traversal.
-	r2 := h.Access(0, r1.DoneAt-1, true)
+	r2 := h.Access(0, 0, r1.DoneAt-1, true)
 	if r2.Level != stats.LevelMSHR {
 		t.Fatalf("level = %s", stats.LevelName(r2.Level))
 	}
@@ -87,10 +87,10 @@ func TestHierarchyMSHRLimit(t *testing.T) {
 	for i := uint64(0); i < 4; i++ {
 		h.tlb.Insert(i * 16) // pages of addr i<<16
 	}
-	r1 := h.Access(0x0<<16, 100, false)
-	r2 := h.Access(0x1<<16, 100, false)
+	r1 := h.Access(0x0<<16, 0, 100, false)
+	r2 := h.Access(0x1<<16, 0, 100, false)
 	// Third distinct miss at the same cycle must wait for an MSHR.
-	r3 := h.Access(0x2<<16, 100, false)
+	r3 := h.Access(0x2<<16, 0, 100, false)
 	if r3.DoneAt <= r1.DoneAt && r3.DoneAt <= r2.DoneAt {
 		t.Errorf("MSHR-starved miss did not queue: r3=%d r1=%d", r3.DoneAt, r1.DoneAt)
 	}
@@ -110,9 +110,9 @@ func TestHierarchyLevelProgression(t *testing.T) {
 	// Evict from L1 only by filling its set with conflicting lines.
 	// L1: 64 sets; lines conflicting with addr are addr + k*64*64.
 	for k := 1; k <= 12; k++ {
-		h.Access(addr+uint64(k)*64*64, uint64(1000+k*300), false)
+		h.Access(addr+uint64(k)*64*64, 0, uint64(1000+k*300), false)
 	}
-	r := h.Access(addr, 100000, false)
+	r := h.Access(addr, 0, 100000, false)
 	if r.Level != stats.LevelL2 {
 		t.Errorf("evicted-from-L1 access level = %s, want L2", stats.LevelName(r.Level))
 	}
@@ -164,7 +164,7 @@ func TestHierarchyTLBCoversIsNonDestructive(t *testing.T) {
 func TestHierarchyWarm(t *testing.T) {
 	h, st := testHierarchy(config.OracleNone)
 	h.Warm(0x8000)
-	r := h.Access(0x8000, 10, true)
+	r := h.Access(0x8000, 0, 10, true)
 	if r.Level != stats.LevelL1 || r.TLBMiss {
 		t.Errorf("warmed access level=%s tlb=%v", stats.LevelName(r.Level), r.TLBMiss)
 	}
@@ -175,7 +175,7 @@ func TestHierarchyWarm(t *testing.T) {
 
 func TestHierarchyCountLoadFlag(t *testing.T) {
 	h, st := testHierarchy(config.OracleNone)
-	h.Access(0x9000, 5, false)
+	h.Access(0x9000, 0, 5, false)
 	var total uint64
 	for _, c := range st.LoadHitLevel {
 		total += c
@@ -207,7 +207,7 @@ func TestHierarchyLatencyBoundsProperty(t *testing.T) {
 		rng = rng*6364136223846793005 + 1442695040888963407
 		addr := (rng >> 11) % (64 << 20)
 		now += rng % 7
-		r := h.Access(addr, now, false)
+		r := h.Access(addr, 0, now, false)
 		lo := now + uint64(cfg.L1Latency)
 		hi := now + uint64(cfg.PageWalkLatency) + uint64(cfg.MemLatency)*2
 		if r.DoneAt < lo || r.DoneAt > hi {
@@ -229,8 +229,8 @@ func TestHierarchyRefillProperty(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		rng = rng*6364136223846793005 + 1
 		addr := (rng >> 13) % (8 << 20)
-		r1 := h.Access(addr, now, false)
-		r2 := h.Access(addr, r1.DoneAt+1, false)
+		r1 := h.Access(addr, 0, now, false)
+		r2 := h.Access(addr, 0, r1.DoneAt+1, false)
 		if r2.Level != stats.LevelL1 {
 			t.Fatalf("re-access after fill at level %s", stats.LevelName(r2.Level))
 		}

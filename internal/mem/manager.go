@@ -1,0 +1,172 @@
+package mem
+
+import "rfpsim/internal/stats"
+
+// managedPrefetcher is the adaptive per-workload policy motivated by
+// Puppeteer (a learned manager selecting/throttling prefetchers across
+// the hierarchy): it trains ALL candidate prefetchers on the demand
+// stream, issues only from the currently active one, and re-decides the
+// active choice every fixed epoch from feedback counters. Where
+// Puppeteer uses random forests, this manager uses a deterministic
+// shadow-scoring policy — no RNG, no floats on the hot path — so runs
+// stay bit-reproducible and content addresses stay meaningful:
+//
+//   - every candidate's predictions (issued or not) enter a per-candidate
+//     shadow ring; a later demand miss on a shadowed line is a "shadow
+//     hit" — the miss that candidate would have covered had it been
+//     active. Shadow hits per epoch are the coverage score.
+//   - at each epoch boundary the best-scoring candidate challenges the
+//     incumbent and takes over only with a 25% margin (hysteresis, so a
+//     noisy epoch cannot flap the policy).
+//   - the active prefetcher is throttled to degree 1 for the next epoch
+//     when its shadow accuracy (hits per emitted candidate) falls below
+//     1/8 — pollution control without switching.
+type managedPrefetcher struct {
+	cands  []Prefetcher
+	active int
+
+	shadow [][managerShadowLines]uint64 // per-candidate recent predictions
+	spos   []int
+	hits   []uint64 // shadow hits this epoch
+	emit   []uint64 // candidates emitted this epoch
+
+	accesses  int
+	throttled bool
+
+	st *stats.Sim
+}
+
+const (
+	// managerEpoch is the decision interval in observed L1 accesses (the
+	// deterministic stand-in for uop epochs: the hierarchy has no uop
+	// clock, and demand accesses track uops closely on this suite).
+	managerEpoch = 2048
+	// managerShadowLines bounds how long a prediction stays eligible to
+	// claim a shadow hit.
+	managerShadowLines = 64
+	// managerMinEvidence is the epoch score below which no challenger can
+	// displace the incumbent (prefetching is irrelevant this epoch).
+	managerMinEvidence = 8
+	// managerShadowEmpty marks an empty or consumed ring slot. Line
+	// addresses are 64-aligned, so 1 can never collide (0 would: the
+	// line holding address 0 is a legitimate line address).
+	managerShadowEmpty = 1
+)
+
+func newManager(streamDegree int, st *stats.Sim) *managedPrefetcher {
+	cands := []Prefetcher{newStreamPrefetcher(streamDegree), newSPP(), newSISB()}
+	p := &managedPrefetcher{
+		cands:  cands,
+		shadow: make([][managerShadowLines]uint64, len(cands)),
+		spos:   make([]int, len(cands)),
+		hits:   make([]uint64, len(cands)),
+		emit:   make([]uint64, len(cands)),
+		st:     st,
+	}
+	for i := range p.shadow {
+		for j := range p.shadow[i] {
+			p.shadow[i][j] = managerShadowEmpty
+		}
+	}
+	return p
+}
+
+// Name implements Prefetcher.
+func (p *managedPrefetcher) Name() string { return "managed" }
+
+// ActiveName returns the currently selected candidate's name (tests and
+// the stats block read it; the policy is otherwise opaque).
+func (p *managedPrefetcher) ActiveName() string { return p.cands[p.active].Name() }
+
+// Fill implements Prefetcher, forwarding to the active candidate (only
+// its candidates are ever issued).
+func (p *managedPrefetcher) Fill(line uint64) { p.cands[p.active].Fill(line) }
+
+// Hit implements Prefetcher. A consumed prefetch is the active
+// candidate's equivalent of a shadow hit: its issued lines turn would-be
+// misses into hits, so the miss-driven shadow scan can never credit them.
+// Without this credit the incumbent is systematically underrated — every
+// miss it covers disappears from the scoring stream while idle candidates
+// keep collecting hypothetical credit — and the manager switches away
+// from exactly the schemes that are working.
+func (p *managedPrefetcher) Hit(line uint64) {
+	p.hits[p.active]++
+	p.cands[p.active].Hit(line)
+}
+
+// Observe implements Prefetcher: score shadows on misses, train every
+// candidate, return the active candidate's emissions (throttled to one
+// line while its accuracy is poor), and run the epoch policy.
+func (p *managedPrefetcher) Observe(ev AccessEvent) []uint64 {
+	if ev.Miss {
+		for i := range p.cands {
+			ring := &p.shadow[i]
+			for j := range ring {
+				if ring[j] == ev.Line {
+					p.hits[i]++
+					ring[j] = managerShadowEmpty // consume: one miss, one credit
+					break
+				}
+			}
+		}
+	}
+
+	var out []uint64
+	for i, c := range p.cands {
+		cand := c.Observe(ev)
+		p.emit[i] += uint64(len(cand))
+		for _, line := range cand {
+			p.shadow[i][p.spos[i]] = line
+			p.spos[i] = (p.spos[i] + 1) % managerShadowLines
+		}
+		if i == p.active {
+			out = cand
+		}
+	}
+	if p.throttled && len(out) > 1 {
+		out = out[:1]
+	}
+
+	if p.accesses++; p.accesses >= managerEpoch {
+		p.endEpoch()
+	}
+	return out
+}
+
+// endEpoch applies the selection and throttle policy and resets the
+// epoch counters.
+func (p *managedPrefetcher) endEpoch() {
+	p.accesses = 0
+	if p.st != nil {
+		p.st.L1PF.ManagerEpochs++
+	}
+
+	// Deterministic argmax: lowest index wins ties, so candidate order
+	// (stream, spp, sisb) is the documented preference order.
+	best := 0
+	for i := 1; i < len(p.cands); i++ {
+		if p.hits[i] > p.hits[best] {
+			best = i
+		}
+	}
+	if best != p.active && p.hits[best] >= managerMinEvidence &&
+		p.hits[best]*4 > p.hits[p.active]*5 {
+		p.active = best
+		p.throttled = false
+		if p.st != nil {
+			p.st.L1PF.ManagerSwitches++
+		}
+	}
+
+	// Throttle the incumbent when it floods candidates that cover
+	// nothing; recover as soon as an epoch shows acceptable accuracy.
+	a := p.active
+	p.throttled = p.emit[a] >= 32 && p.hits[a]*8 < p.emit[a]
+	if p.throttled && p.st != nil {
+		p.st.L1PF.ManagerThrottledEpochs++
+	}
+
+	for i := range p.cands {
+		p.hits[i], p.emit[i] = 0, 0
+	}
+}

@@ -1,0 +1,65 @@
+package mem
+
+import "rfpsim/internal/stats"
+
+// AccessEvent is one L1 access as a prefetcher sees it. Events are
+// delivered for every hierarchy access — demand loads and stores as well
+// as the RFP prefetches and probes that stand in for loads — so temporal
+// and signature schemes can train on the same stream the L1 actually
+// serves.
+type AccessEvent struct {
+	// Line is the cache-line address (addr &^ 63).
+	Line uint64
+	// PC is the program counter of the instruction behind the access
+	// (0 when the caller has none, e.g. hierarchy unit tests).
+	PC uint64
+	// Miss reports a true L1 miss: the line was absent from the array and
+	// from the MSHRs, and a fill from a lower level began.
+	Miss bool
+	// Load reports a demand load (the Figure 2 population).
+	Load bool
+}
+
+// Prefetcher is a pluggable L1 hardware prefetcher. Implementations are
+// deterministic (no RNG, no wall clock) and allocation-free in steady
+// state: candidate slices returned by Observe alias scratch storage owned
+// by the prefetcher and are only valid until the next Observe call.
+//
+// The hierarchy drives the contract:
+//
+//   - Observe is called once per L1 access with the line, PC and hit/miss
+//     outcome; the prefetcher returns the line addresses it wants fetched.
+//   - Fill reports that a candidate actually won an MSHR and was brought
+//     into the L1 (candidates may be dropped: line already present or in
+//     flight, MSHR budget exhausted).
+//   - Hit reports that a later access consumed a line this prefetcher
+//     brought in — the accuracy feedback signal.
+type Prefetcher interface {
+	// Name returns the configuration name ("stream", "spp", ...).
+	Name() string
+	// Observe records one access and returns prefetch candidates.
+	Observe(ev AccessEvent) []uint64
+	// Fill reports a candidate was issued into the L1.
+	Fill(line uint64)
+	// Hit reports a demand access consumed a prefetched line.
+	Hit(line uint64)
+}
+
+// newPrefetcher builds the named prefetcher. The caller has validated the
+// name (config.Core.Validate rejects unknown names with the valid list);
+// an unknown name here is a programming error and panics. streamDegree
+// configures the stream prefetcher's lookahead; st may be nil and is only
+// used by the managed policy's epoch counters.
+func newPrefetcher(name string, streamDegree int, st *stats.Sim) Prefetcher {
+	switch name {
+	case "stream":
+		return newStreamPrefetcher(streamDegree)
+	case "spp":
+		return newSPP()
+	case "sisb":
+		return newSISB()
+	case "managed":
+		return newManager(streamDegree, st)
+	}
+	panic("mem: unknown prefetcher " + name)
+}

@@ -1,0 +1,423 @@
+package mem
+
+import (
+	"testing"
+
+	"rfpsim/internal/config"
+	"rfpsim/internal/stats"
+)
+
+// TestPrefetcherFactoryNames pins the factory to the config-level name
+// list: every name config validation accepts must build, and must answer
+// to its own name.
+func TestPrefetcherFactoryNames(t *testing.T) {
+	for _, name := range config.Prefetchers() {
+		p := newPrefetcher(name, 2, nil)
+		if p.Name() != name {
+			t.Errorf("newPrefetcher(%q).Name() = %q", name, p.Name())
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown prefetcher name did not panic")
+		}
+	}()
+	newPrefetcher("bogus", 2, nil)
+}
+
+// refSPP is an unbounded-map reference model of the SPP training and
+// lookahead rules, written independently of the fixed-table
+// implementation: per-page signature state in a map, pattern rows as
+// plain (delta -> counter) slices with the documented 4-way /
+// weakest-victim / halve-at-saturation semantics. The property test
+// below drives both models with the same access stream and requires
+// identical candidate sequences, so any indexing, aliasing or
+// confidence-arithmetic bug in the fixed-table version shows up as a
+// divergence.
+type refSPP struct {
+	st map[uint64]*refSig
+	pt map[uint16]*refPat
+}
+
+type refSig struct {
+	sig  uint16
+	last int8
+}
+
+type refPat struct {
+	deltas []int8
+	counts []uint8
+	total  uint8
+}
+
+func (r *refPat) update(delta int8) {
+	if r.total >= sppCounterMax {
+		for i := range r.counts {
+			r.counts[i] >>= 1
+		}
+		r.total >>= 1
+	}
+	r.total++
+	for i, d := range r.deltas {
+		if r.counts[i] > 0 && d == delta {
+			r.counts[i]++
+			return
+		}
+	}
+	if len(r.deltas) < sppPatDeltas {
+		// Claim an empty way. The fixed-table entry scans ways in order
+		// and stops at the first zero-count way, so append matches.
+		for i := range r.deltas {
+			if r.counts[i] == 0 {
+				r.deltas[i], r.counts[i] = delta, 1
+				return
+			}
+		}
+		r.deltas = append(r.deltas, delta)
+		r.counts = append(r.counts, 1)
+		return
+	}
+	victim := 0
+	for i := range r.counts {
+		if r.counts[i] < r.counts[victim] {
+			victim = i
+		}
+	}
+	r.deltas[victim], r.counts[victim] = delta, 1
+}
+
+func (r *refPat) best() (delta int8, count, total uint8) {
+	bi := -1
+	for i := range r.counts {
+		if bi == -1 || r.counts[i] > r.counts[bi] {
+			bi = i
+		}
+	}
+	if bi == -1 || r.counts[bi] == 0 {
+		return 0, 0, 0
+	}
+	return r.deltas[bi], r.counts[bi], r.total
+}
+
+func (r *refSPP) observe(line uint64) []uint64 {
+	page := line >> 12
+	off := int8((line >> lineShift) & (pageLineOffset - 1))
+	e, seen := r.st[page]
+	if !seen {
+		r.st[page] = &refSig{last: off}
+		return nil
+	}
+	delta := off - e.last
+	if delta == 0 {
+		return nil
+	}
+	if r.pt[e.sig] == nil {
+		r.pt[e.sig] = &refPat{}
+	}
+	r.pt[e.sig].update(delta)
+	e.sig = sppNextSig(e.sig, delta)
+	e.last = off
+
+	var out []uint64
+	conf := 100
+	sig, cur := e.sig, off
+	for len(out) < sppMaxDegree {
+		p := r.pt[sig]
+		if p == nil {
+			break
+		}
+		d, c, total := p.best()
+		if total == 0 {
+			break
+		}
+		conf = conf * int(c) / int(total)
+		if conf < sppBaseThreshold {
+			break
+		}
+		next := cur + d
+		if next < 0 || next >= pageLineOffset {
+			break
+		}
+		out = append(out, (page<<12)|uint64(next)<<lineShift)
+		sig = sppNextSig(sig, d)
+		cur = next
+	}
+	return out
+}
+
+// TestSPPMatchesReferenceModel drives the fixed-table SPP and the
+// unbounded reference over an interleaved multi-page strided stream
+// (with the page population kept under the signature table's 256 slots
+// so direct mapping cannot alias) and requires candidate-for-candidate
+// agreement on every access.
+func TestSPPMatchesReferenceModel(t *testing.T) {
+	impl := newSPP()
+	ref := &refSPP{st: map[uint64]*refSig{}, pt: map[uint16]*refPat{}}
+
+	// Deterministic LCG interleaving 40 pages, each walking its own
+	// stride pattern (stride = 1 + page%5, with occasional direction
+	// flips) through the 64-line page.
+	state := uint64(0xDEADBEEF)
+	next := func(n uint64) uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return (state >> 33) % n
+	}
+	offs := make([]int8, 40)
+	for i := 0; i < 20000; i++ {
+		page := next(40)
+		stride := int8(1 + page%5)
+		if next(13) == 0 {
+			stride = -stride
+		}
+		off := offs[page] + stride
+		if off < 0 {
+			off += pageLineOffset
+		}
+		off %= pageLineOffset
+		offs[page] = off
+		line := page<<12 | uint64(off)<<lineShift
+
+		got := impl.Observe(AccessEvent{Line: line, Miss: next(3) == 0, Load: true})
+		want := ref.observe(line)
+		if len(got) != len(want) {
+			t.Fatalf("access %d (line %#x): impl emitted %d candidates %v, reference %d %v",
+				i, line, len(got), got, len(want), want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("access %d (line %#x): candidate %d: impl %#x, reference %#x",
+					i, line, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestSPPCandidatesStayInPage pins SPP's page-local contract: no
+// candidate may leave the triggering access's 4 KiB page, and the path
+// is bounded by the maximum degree.
+func TestSPPCandidatesStayInPage(t *testing.T) {
+	p := newSPP()
+	for i := 0; i < 200; i++ {
+		line := uint64(7)<<12 | uint64(i%pageLineOffset)<<lineShift
+		for _, cand := range p.Observe(AccessEvent{Line: line, Miss: true, Load: true}) {
+			if cand>>12 != 7 {
+				t.Fatalf("candidate %#x escaped page 7", cand)
+			}
+		}
+	}
+}
+
+// TestSPPAccuracyThrottle pins the global feedback loop: a flood of
+// fills with no consumption tightens the confidence threshold, and
+// recovered accuracy relaxes it again.
+func TestSPPAccuracyThrottle(t *testing.T) {
+	p := newSPP()
+	if got := p.threshold(); got != sppBaseThreshold {
+		t.Fatalf("cold threshold = %d, want %d", got, sppBaseThreshold)
+	}
+	for i := 0; i < 300; i++ {
+		p.Fill(uint64(i) << lineShift)
+	}
+	if got := p.threshold(); got != sppLowAccThreshold {
+		t.Fatalf("all-junk threshold = %d, want %d", got, sppLowAccThreshold)
+	}
+	for i := 0; i < 300; i++ {
+		p.Hit(uint64(i) << lineShift)
+	}
+	if got := p.threshold(); got != sppBaseThreshold {
+		t.Fatalf("recovered threshold = %d, want %d", got, sppBaseThreshold)
+	}
+}
+
+// TestSISBTrainReplayRoundTrip is the temporal-prefetching contract: a
+// miss chain recorded under one PC replays, successor-first with
+// degree-2 lookahead, when the chain restarts.
+func TestSISBTrainReplayRoundTrip(t *testing.T) {
+	p := newSISB()
+	const pc = 0x401000
+	chain := []uint64{0x10000, 0x58040, 0x23080, 0x770C0}
+	for _, line := range chain {
+		p.Observe(AccessEvent{Line: line, PC: pc, Miss: true, Load: true})
+	}
+	// Revisit the head: the replay must walk the recorded chain.
+	got := p.Observe(AccessEvent{Line: chain[0], PC: pc, Miss: true, Load: true})
+	if len(got) != sisbDegree || got[0] != chain[1] || got[1] != chain[2] {
+		t.Fatalf("replay from %#x = %#x, want [%#x %#x]", chain[0], got, chain[1], chain[2])
+	}
+	got = p.Observe(AccessEvent{Line: chain[1], PC: pc, Miss: true, Load: true})
+	if len(got) != sisbDegree || got[0] != chain[2] || got[1] != chain[3] {
+		t.Fatalf("replay from %#x = %#x, want [%#x %#x]", chain[1], got, chain[2], chain[3])
+	}
+}
+
+// TestSISBTrainsOnLoadMissesOnly: hits, stores and MSHR merges carry no
+// temporal information in this scheme and must neither train nor
+// predict.
+func TestSISBTrainsOnLoadMissesOnly(t *testing.T) {
+	p := newSISB()
+	const pc = 0x401000
+	for i, ev := range []AccessEvent{
+		{Line: 0x1000, PC: pc, Miss: false, Load: true},  // L1 hit
+		{Line: 0x2000, PC: pc, Miss: true, Load: false},  // store miss
+		{Line: 0x3000, PC: pc, Miss: false, Load: false}, // store hit
+	} {
+		if got := p.Observe(ev); len(got) != 0 {
+			t.Errorf("event %d predicted %v", i, got)
+		}
+	}
+	// The ignored events above must not have linked 0x1000 -> anything.
+	if got := p.Observe(AccessEvent{Line: 0x1000, PC: pc, Miss: true, Load: true}); len(got) != 0 {
+		t.Errorf("untrained replay predicted %v", got)
+	}
+}
+
+// TestManagerSwitchesToTemporal drives the manager with a workload only
+// the temporal scheme can cover — a repeating irregular miss chain with
+// every line in its own page, so streams never confirm and SPP never
+// sees a second in-page access — and requires the epoch policy to hand
+// the reins to SISB.
+func TestManagerSwitchesToTemporal(t *testing.T) {
+	st := &stats.Sim{}
+	m := newManager(2, st)
+	if m.ActiveName() != "stream" {
+		t.Fatalf("initial active = %q, want stream (documented preference order)", m.ActiveName())
+	}
+
+	const pc = 0x401000
+	lines := make([]uint64, 256)
+	for i := range lines {
+		lines[i] = uint64(i*7+3) << 12 // one line per page, irregular spacing
+	}
+	for pass := 0; pass < 10; pass++ {
+		for _, line := range lines {
+			m.Observe(AccessEvent{Line: line, PC: pc, Miss: true, Load: true})
+		}
+	}
+	if m.ActiveName() != "sisb" {
+		t.Errorf("active = %q after temporal-only workload, want sisb", m.ActiveName())
+	}
+	if st.L1PF.ManagerEpochs == 0 || st.L1PF.ManagerSwitches == 0 {
+		t.Errorf("epoch counters not recorded: epochs %d, switches %d",
+			st.L1PF.ManagerEpochs, st.L1PF.ManagerSwitches)
+	}
+}
+
+// TestManagerThrottlesInaccurateActive: when the active prefetcher
+// floods candidates that never cover a miss (and no challenger scores
+// either), the manager must throttle it to degree 1 rather than switch.
+func TestManagerThrottlesInaccurateActive(t *testing.T) {
+	st := &stats.Sim{}
+	m := newManager(4, st)
+
+	// Three ascending misses per region confirm a stream (emitting
+	// degree-4 candidates on the third), then the workload jumps to a
+	// fresh region forever — every prediction is junk, for every scheme:
+	// the per-region deltas vary region to region (coprime cycles), so
+	// SPP's pattern table never accumulates confidence, and no line ever
+	// repeats, so SISB never replays.
+	region := uint64(0)
+	var out []uint64
+	for i := 0; i < 3*1024; i++ {
+		var off uint64
+		switch i % 3 {
+		case 1:
+			off = 1 + (region*7)%13
+		case 2:
+			off = 2 + (region*7)%13 + (region*11)%17
+		}
+		line := region<<12 + off<<lineShift
+		out = m.Observe(AccessEvent{Line: line, Miss: true, Load: true})
+		if i%3 == 2 {
+			region++
+		}
+	}
+	if !m.throttled {
+		t.Error("manager did not throttle an active prefetcher with zero accuracy")
+	}
+	if st.L1PF.ManagerThrottledEpochs == 0 {
+		t.Error("throttled epochs not counted")
+	}
+	if st.L1PF.ManagerSwitches != 0 {
+		t.Errorf("manager switched (%d times) on an all-junk workload", st.L1PF.ManagerSwitches)
+	}
+	// While throttled, multi-line emissions are truncated to one.
+	for i := 0; len(out) == 0 && i < 3; i++ {
+		line := region<<12 + uint64(i)<<lineShift
+		out = m.Observe(AccessEvent{Line: line, Miss: true, Load: true})
+	}
+	if len(out) > 1 {
+		t.Errorf("throttled manager emitted %d candidates, want at most 1", len(out))
+	}
+}
+
+// TestHierarchyPrefetcherStats exercises the full lifecycle accounting
+// through the hierarchy: issued fills, useful consumptions and the
+// coverage/accuracy helpers, for each zoo member on a stream-friendly
+// access pattern.
+func TestHierarchyPrefetcherStats(t *testing.T) {
+	for _, name := range config.Prefetchers() {
+		t.Run(name, func(t *testing.T) {
+			cfg := config.Baseline().Mem
+			cfg.Prefetcher = name
+			st := &stats.Sim{}
+			h := NewHierarchy(cfg, config.OracleNone, st)
+			// Two passes over a working set larger than the L1 (768
+			// lines), so the second pass misses again: temporal schemes
+			// need the revisit to replay the recorded chain, and the
+			// stride schemes cover either pass.
+			cycle := uint64(0)
+			for pass := 0; pass < 2; pass++ {
+				for line := uint64(0); line < 2048; line++ {
+					h.Access(0x300000+line*64, 0x401000, cycle, true)
+					cycle += 12
+				}
+			}
+			if st.L1PF.Issued == 0 {
+				t.Fatal("no prefetches issued on a pure stream")
+			}
+			if st.L1PF.Useful == 0 {
+				t.Fatal("no prefetches consumed on a pure stream")
+			}
+			if st.L1PF.Useful > st.L1PF.Issued {
+				t.Errorf("useful %d exceeds issued %d", st.L1PF.Useful, st.L1PF.Issued)
+			}
+			if acc := st.L1PFAccuracy(); acc <= 0 || acc > 1 {
+				t.Errorf("accuracy %f out of range", acc)
+			}
+		})
+	}
+}
+
+// TestHierarchyPrefetchTimingInvariant pins the refactor's timing
+// contract: routing the stream prefetcher through the Prefetcher
+// interface (and the prefetched-bit bookkeeping that came with it) must
+// not change a single DoneAt relative to the legacy HWPrefetch knob —
+// they are the same hardware.
+func TestHierarchyPrefetchTimingInvariant(t *testing.T) {
+	legacy := config.Baseline().Mem
+	legacy.HWPrefetch = true
+	zoo := config.Baseline().Mem
+	zoo.Prefetcher = "stream"
+
+	hl := NewHierarchy(legacy, config.OracleNone, nil)
+	hz := NewHierarchy(zoo, config.OracleNone, nil)
+
+	state := uint64(42)
+	cycle := uint64(0)
+	for i := 0; i < 5000; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		// Mix of streaming and pointer-ish accesses over a few regions.
+		var addr uint64
+		if state>>62 == 0 {
+			addr = (state >> 30) % (1 << 22)
+		} else {
+			addr = 0x100000 + uint64(i%2048)*64
+		}
+		rl := hl.Access(addr, 0x400000, cycle, true)
+		rz := hz.Access(addr, 0x400000, cycle, true)
+		if rl != rz {
+			t.Fatalf("access %d (addr %#x): legacy %+v != zoo %+v", i, addr, rl, rz)
+		}
+		cycle += uint64(state>>58)%7 + 1
+	}
+}

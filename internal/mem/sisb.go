@@ -1,0 +1,96 @@
+package mem
+
+// sisbPrefetcher is a simplified irregular stream buffer (the SISB
+// temporal prefetcher of the ChampSim prefetching championship): a
+// training unit remembers the last miss line of each load PC, a mapping
+// table records (line -> next line observed under the same PC), and
+// prediction replays the recorded chain with degree-2 lookahead. Where
+// the reference uses unbounded hash maps, this implementation uses
+// fixed-size direct-mapped tables (tag + payload) so the scheme stays
+// deterministic, bounded and allocation-free in steady state — the
+// contract the zero-alloc cycle loop imposes on everything on the demand
+// path.
+type sisbPrefetcher struct {
+	tu []sisbTrainEntry // training unit: PC -> last miss line
+	mc []sisbMapEntry   // mapping table: line -> successor line
+
+	issued uint64
+	useful uint64
+
+	scratch []uint64
+}
+
+const (
+	sisbTUEntries = 1 << 10
+	sisbMCEntries = 1 << 13
+	sisbDegree    = 2
+)
+
+type sisbTrainEntry struct {
+	pc    uint64
+	last  uint64
+	valid bool
+}
+
+type sisbMapEntry struct {
+	line  uint64
+	next  uint64
+	valid bool
+}
+
+func newSISB() *sisbPrefetcher {
+	return &sisbPrefetcher{
+		tu:      make([]sisbTrainEntry, sisbTUEntries),
+		mc:      make([]sisbMapEntry, sisbMCEntries),
+		scratch: make([]uint64, 0, sisbDegree),
+	}
+}
+
+// Name implements Prefetcher.
+func (p *sisbPrefetcher) Name() string { return "sisb" }
+
+// Fill implements Prefetcher.
+func (p *sisbPrefetcher) Fill(line uint64) { p.issued++ }
+
+// Hit implements Prefetcher.
+func (p *sisbPrefetcher) Hit(line uint64) { p.useful++ }
+
+// sisbHash spreads a key over a table of size 2^bits with a Fibonacci
+// multiplicative hash; direct-mapped conflicts simply retrain, which is
+// the bounded-table substitute for the reference's unbounded maps.
+func sisbHash(key uint64, bits uint) uint64 {
+	return (key * 0x9E3779B97F4A7C15) >> (64 - bits)
+}
+
+// Observe implements Prefetcher. SISB is a temporal scheme over the miss
+// stream: only demand-load misses train the chain (hits would record the
+// whole access stream and drown the miss correlations the replay needs)
+// and only they trigger replay.
+func (p *sisbPrefetcher) Observe(ev AccessEvent) []uint64 {
+	if !ev.Load || !ev.Miss {
+		return nil
+	}
+
+	// Training: link the PC's previous miss line to this one.
+	t := &p.tu[sisbHash(ev.PC, 10)]
+	if t.valid && t.pc == ev.PC && t.last != ev.Line {
+		m := &p.mc[sisbHash(t.last, 13)]
+		*m = sisbMapEntry{line: t.last, next: ev.Line, valid: true}
+	}
+	*t = sisbTrainEntry{pc: ev.PC, last: ev.Line, valid: true}
+
+	// Replay: follow the recorded chain from the current miss, degree-2
+	// lookahead as in the reference harness. Self-loops and revisits are
+	// cut by refusing a prediction equal to the line it extends.
+	out := p.scratch[:0]
+	cur := ev.Line
+	for len(out) < sisbDegree {
+		m := &p.mc[sisbHash(cur, 13)]
+		if !m.valid || m.line != cur || m.next == cur {
+			break
+		}
+		out = append(out, m.next)
+		cur = m.next
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package mem
+
+// sppPrefetcher is a signature-path prefetcher (Kim et al., MICRO 2016,
+// as fielded in the DPC ChampSim reference): a per-page Signature Table
+// compresses the recent delta history of each 4 KiB page into a 12-bit
+// signature, a Pattern Table correlates signatures with the deltas that
+// followed them, and prediction walks the pattern table speculatively —
+// compounding per-step confidence along the path and stopping when the
+// product drops below a throttle threshold. Global accuracy feedback
+// (fills vs hits, the Prefetcher Fill/Hit channels) tightens the
+// threshold when the pattern table is issuing junk.
+//
+// Everything is fixed-size integer state: no maps, no RNG, no floats, so
+// the scheme is deterministic and allocation-free in steady state.
+type sppPrefetcher struct {
+	st []sppSigEntry // signature table, direct-mapped by page
+	pt []sppPatEntry // pattern table, indexed by signature
+
+	// issued/useful implement the global-accuracy throttle; both are
+	// halved together when issued saturates so the ratio tracks the
+	// recent window rather than all history.
+	issued uint64
+	useful uint64
+
+	scratch []uint64
+}
+
+// SPP geometry. The signature folds 3 bits per delta, so it covers the
+// last four deltas of a page — enough to separate interleaved strides
+// without growing the pattern table past 4K entries.
+const (
+	sppSigBits    = 12
+	sppSigMask    = (1 << sppSigBits) - 1
+	sppSigShift   = 3
+	sppSTEntries  = 256
+	sppPatDeltas  = 4
+	sppCounterMax = 15
+	sppMaxDegree  = 8
+
+	// sppBaseThreshold is the minimum path confidence (percent) to keep
+	// walking; sppLowAccThreshold replaces it once global accuracy falls
+	// below sppMinAccuracyPct.
+	sppBaseThreshold   = 25
+	sppLowAccThreshold = 60
+	sppMinAccuracyPct  = 30
+	// sppAccWindow bounds the accuracy counters; at the bound both halve.
+	sppAccWindow = 4096
+
+	lineShift      = 6
+	pageLineOffset = 64 // lines per 4 KiB page
+)
+
+type sppSigEntry struct {
+	page    uint64
+	sig     uint16
+	lastOff int8
+	valid   bool
+}
+
+type sppPatEntry struct {
+	delta [sppPatDeltas]int8
+	count [sppPatDeltas]uint8
+	total uint8
+}
+
+func newSPP() *sppPrefetcher {
+	return &sppPrefetcher{
+		st:      make([]sppSigEntry, sppSTEntries),
+		pt:      make([]sppPatEntry, 1<<sppSigBits),
+		scratch: make([]uint64, 0, sppMaxDegree),
+	}
+}
+
+// Name implements Prefetcher.
+func (p *sppPrefetcher) Name() string { return "spp" }
+
+// Fill implements Prefetcher: every issued prefetch opens the accuracy
+// window.
+func (p *sppPrefetcher) Fill(line uint64) {
+	p.issued++
+	if p.issued >= sppAccWindow {
+		p.issued >>= 1
+		p.useful >>= 1
+	}
+}
+
+// Hit implements Prefetcher: a consumed prefetch closes the loop.
+func (p *sppPrefetcher) Hit(line uint64) { p.useful++ }
+
+// threshold returns the current path-confidence floor in percent: the
+// base throttle, or the tightened one while global accuracy is poor. The
+// accuracy gate only arms after enough fills to be meaningful.
+func (p *sppPrefetcher) threshold() int {
+	if p.issued >= 256 && p.useful*100 < p.issued*sppMinAccuracyPct {
+		return sppLowAccThreshold
+	}
+	return sppBaseThreshold
+}
+
+// Observe implements Prefetcher. Every access trains the tables (SPP
+// observes the full L1 stream, hits included — patterns must keep
+// advancing once their lines start hitting), and every access may emit a
+// path of candidates within the same page.
+func (p *sppPrefetcher) Observe(ev AccessEvent) []uint64 {
+	page := ev.Line >> 12
+	off := int8((ev.Line >> lineShift) & (pageLineOffset - 1))
+
+	e := &p.st[page%sppSTEntries]
+	if !e.valid || e.page != page {
+		// First touch of (this alias slot for) the page: start a fresh
+		// signature; no delta to learn, nothing confident to predict.
+		*e = sppSigEntry{page: page, sig: 0, lastOff: off, valid: true}
+		return nil
+	}
+	delta := off - e.lastOff
+	if delta == 0 {
+		return nil // same line again: no pattern information
+	}
+
+	// Learn (old signature -> delta), then advance the signature.
+	p.pt[e.sig].update(delta)
+	e.sig = sppNextSig(e.sig, delta)
+	e.lastOff = off
+
+	// Speculative lookahead: follow the most likely delta chain while the
+	// compounded confidence stays above the throttle and the path stays
+	// inside the page (SPP's page-local contract; crossing pages would
+	// need the GHR machinery the paper's L1 budget doesn't justify).
+	out := p.scratch[:0]
+	conf := 100
+	sig, cur := e.sig, off
+	thresh := p.threshold()
+	for len(out) < sppMaxDegree {
+		delta, c, total := p.pt[sig].best()
+		if total == 0 {
+			break
+		}
+		conf = conf * int(c) / int(total)
+		if conf < thresh {
+			break
+		}
+		next := cur + delta
+		if next < 0 || next >= pageLineOffset {
+			break
+		}
+		out = append(out, (page<<12)|uint64(next)<<lineShift)
+		sig = sppNextSig(sig, delta)
+		cur = next
+	}
+	return out
+}
+
+// sppNextSig folds one delta into a signature. The delta is mapped into
+// 7 bits sign-magnitude style (as in the reference implementation) so
+// ascending and descending strides hash apart.
+func sppNextSig(sig uint16, delta int8) uint16 {
+	d := uint16(delta) & 0x7F
+	return ((sig << sppSigShift) ^ d) & sppSigMask
+}
+
+// update credits delta in the entry, claiming the weakest way when the
+// delta is new. Counters saturate; at saturation of the total all ways
+// halve, aging out stale patterns without ever resetting cold.
+func (e *sppPatEntry) update(delta int8) {
+	if e.total >= sppCounterMax {
+		for i := range e.count {
+			e.count[i] >>= 1
+		}
+		e.total >>= 1
+	}
+	e.total++
+	victim := 0
+	for i := range e.delta {
+		if e.count[i] > 0 && e.delta[i] == delta {
+			e.count[i]++
+			return
+		}
+		if e.count[i] < e.count[victim] {
+			victim = i
+		}
+	}
+	e.delta[victim] = delta
+	e.count[victim] = 1
+}
+
+// best returns the highest-confidence delta (lowest index wins ties, so
+// the choice is deterministic), its counter, and the entry total.
+func (e *sppPatEntry) best() (delta int8, count, total uint8) {
+	bi := 0
+	for i := 1; i < sppPatDeltas; i++ {
+		if e.count[i] > e.count[bi] {
+			bi = i
+		}
+	}
+	if e.count[bi] == 0 {
+		return 0, 0, 0
+	}
+	return e.delta[bi], e.count[bi], e.total
+}

@@ -5,6 +5,9 @@ package mem
 // confirmation). It exists to answer the natural question the paper leaves
 // implicit: RFP attacks L1 *latency*, cache prefetchers attack *misses* —
 // so their benefits compose. The experiments harness runs the ablation.
+//
+// It is the simplest Prefetcher implementation: PC-blind, trains on
+// misses only, and ignores the fill/accuracy feedback channels.
 type streamPrefetcher struct {
 	entries [16]streamEntry
 	stamp   uint64
@@ -30,6 +33,24 @@ func newStreamPrefetcher(degree int) *streamPrefetcher {
 	}
 	return &streamPrefetcher{degree: degree, scratch: make([]uint64, 0, degree)}
 }
+
+// Name implements Prefetcher.
+func (p *streamPrefetcher) Name() string { return "stream" }
+
+// Observe implements Prefetcher: only true misses train a stream and can
+// emit candidates, exactly as the pre-interface hierarchy drove it.
+func (p *streamPrefetcher) Observe(ev AccessEvent) []uint64 {
+	if !ev.Miss {
+		return nil
+	}
+	return p.observeMiss(ev.Line)
+}
+
+// Fill implements Prefetcher; the stream scheme uses no fill feedback.
+func (p *streamPrefetcher) Fill(line uint64) {}
+
+// Hit implements Prefetcher; the stream scheme uses no accuracy feedback.
+func (p *streamPrefetcher) Hit(line uint64) {}
 
 // observeMiss records a demand miss to lineAddr and returns the line
 // addresses worth prefetching (empty until a stream direction is

@@ -69,7 +69,7 @@ func TestHierarchyHWPrefetchHidesStreamMisses(t *testing.T) {
 		cycle := uint64(0)
 		for line := uint64(0); line < 512; line++ {
 			for k := uint64(0); k < 4; k++ {
-				h.Access(0x100000+line*64+k*16, cycle, true)
+				h.Access(0x100000+line*64+k*16, 0, cycle, true)
 				cycle += 3
 			}
 		}
@@ -93,7 +93,7 @@ func TestHierarchyHWPrefetchRespectsMSHRs(t *testing.T) {
 	// occupies one MSHR and the prefetcher may only use the remaining
 	// budget, despite its degree of 8.
 	for line := uint64(0); line < 64; line++ {
-		h.Access(0x200000+line*64, uint64(line)*300, false)
+		h.Access(0x200000+line*64, 0, uint64(line)*300, false)
 		if len(h.inflight) > cfg.L1MSHRs {
 			t.Fatalf("inflight %d exceeds MSHR budget %d", len(h.inflight), cfg.L1MSHRs)
 		}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -75,6 +76,79 @@ func TestContentAddressNormalizesDefaults(t *testing.T) {
 	distinct.Config.PTEntries = 256
 	if kd, err := ContentAddress(distinct); err != nil || kd == ke {
 		t.Errorf("different configs must key differently (err=%v)", err)
+	}
+}
+
+// TestPrefetcherContentAddress pins the prefetcher knob's cache-key
+// behavior: a spec that omits the knob keys identically to the
+// pre-prefetcher-zoo format (the field is omitempty in the marshaled
+// config, so historical checkpoints stay valid), every prefetcher name
+// keys distinctly, and the chosen name lands in the config segment of
+// the documented key format.
+func TestPrefetcherContentAddress(t *testing.T) {
+	base := SimRequest{Workload: "spec06_mcf", Config: ConfigSpec{RFP: true}}
+	kBase, err := ContentAddress(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seen := map[string]string{"": kBase}
+	for _, name := range []string{"stream", "spp", "sisb", "managed"} {
+		req := base
+		req.Config.Prefetcher = name
+		k, err := ContentAddress(req)
+		if err != nil {
+			t.Fatalf("prefetcher %q: %v", name, err)
+		}
+		for prev, kp := range seen {
+			if k == kp {
+				t.Errorf("prefetcher %q shares content address with %q: %s", name, prev, k)
+			}
+		}
+		seen[name] = k
+
+		// Recompute from the documented format: the name rides inside the
+		// marshaled config segment.
+		cfg, err := req.Config.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Mem.Prefetcher != name {
+			t.Fatalf("Build dropped prefetcher %q", name)
+		}
+		cfgJSON, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, _ := trace.ByName(req.Workload)
+		h := sha256.New()
+		fmt.Fprintf(h, "config:%s|workload:%s:seed:%d|warmup:%d|measure:%d|seeds:%d|cold:%t",
+			cfgJSON, spec.Name, spec.Seed, 30000, 60000, 1, false)
+		if want := hex.EncodeToString(h.Sum(nil)); k != want {
+			t.Errorf("prefetcher %q content address format drifted:\n got %s\nwant %s", name, k, want)
+		}
+	}
+
+	// The omitempty contract: an unset knob must not change the config
+	// segment, or every pre-zoo cache entry and sweep checkpoint is
+	// orphaned.
+	cfg, err := base.Config.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(cfgJSON, []byte("Prefetcher")) {
+		t.Errorf("unset prefetcher leaked into the config JSON: %s", cfgJSON)
+	}
+
+	if _, err := ContentAddress(SimRequest{
+		Workload: "spec06_mcf",
+		Config:   ConfigSpec{Prefetcher: "bogus"},
+	}); err == nil {
+		t.Error("unknown prefetcher name accepted")
 	}
 }
 

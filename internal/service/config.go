@@ -40,6 +40,10 @@ type ConfigSpec struct {
 	LateRegAlloc bool `json:"late_reg_alloc,omitempty"`
 	// HWPrefetch adds the hardware stream cache prefetcher.
 	HWPrefetch bool `json:"hw_prefetch,omitempty"`
+	// Prefetcher selects a specific L1 hardware prefetcher ("stream",
+	// "spp", "sisb" or "managed"); it supersedes the boolean HWPrefetch
+	// knob, which remains as the legacy spelling of "stream".
+	Prefetcher string `json:"prefetcher,omitempty"`
 
 	// Checks enables the runtime invariant checker (docs/checking.md).
 	// Violations ride back in the stats block and feed the daemon's
@@ -98,6 +102,9 @@ func (s ConfigSpec) Build() (config.Core, error) {
 	}
 	cfg.LateRegAlloc = s.LateRegAlloc
 	cfg.Mem.HWPrefetch = s.HWPrefetch
+	if s.Prefetcher != "" {
+		cfg = cfg.WithPrefetcher(s.Prefetcher)
+	}
 	cfg.Checks.Enabled = s.Checks
 	if err := cfg.Validate(); err != nil {
 		return config.Core{}, fmt.Errorf("service: invalid config: %w", err)

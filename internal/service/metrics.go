@@ -27,6 +27,9 @@ type Metrics struct {
 	simCycles    atomic.Uint64 // total simulated cycles across all jobs
 	simBusyNanos atomic.Uint64 // total wall time workers spent simulating
 
+	l1pfIssued atomic.Uint64 // L1 hardware prefetches issued across all jobs
+	l1pfUseful atomic.Uint64 // L1 hardware prefetches consumed by demand
+
 	checkViolations atomic.Uint64 // invariant violations across checked jobs
 }
 
@@ -54,6 +57,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	obs.Counter(w, "rfpsimd_cache_hits_total", "Requests served from the result cache.", m.cacheHits.Load())
 	obs.Counter(w, "rfpsimd_cache_misses_total", "Requests that had to simulate.", m.cacheMisses.Load())
 	obs.Counter(w, "rfpsimd_sim_cycles_total", "Simulated core cycles across all jobs.", m.simCycles.Load())
+	obs.Counter(w, "rfpsimd_l1pf_issued_total", "L1 hardware prefetches issued across all jobs (docs/prefetchers.md).", m.l1pfIssued.Load())
+	obs.Counter(w, "rfpsimd_l1pf_useful_total", "L1 hardware prefetches consumed by a demand access across all jobs.", m.l1pfUseful.Load())
 	obs.Counter(w, "rfpsim_check_violations_total", "Runtime invariant violations across jobs run with the checker enabled (docs/checking.md).", m.checkViolations.Load())
 	obs.Gauge(w, "rfpsimd_sim_cycles_per_second", "Simulated cycles per wall-clock second of worker busy time.", cyclesPerSec)
 

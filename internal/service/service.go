@@ -353,6 +353,8 @@ func (s *Server) worker() {
 		case res.err == nil:
 			s.metrics.jobsOK.Add(1)
 			s.metrics.simCycles.Add(res.st.Cycles)
+			s.metrics.l1pfIssued.Add(res.st.L1PF.Issued)
+			s.metrics.l1pfUseful.Add(res.st.L1PF.Useful)
 			if v := res.st.Checks.Total(); v > 0 {
 				s.metrics.checkViolations.Add(v)
 				log.Warn("invariant violations", "violations", v)

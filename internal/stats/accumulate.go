@@ -32,6 +32,14 @@ func Accumulate(dst, src *Sim) {
 	dst.RFP.Wrong += src.RFP.Wrong
 	dst.RFP.L1Misses += src.RFP.L1Misses
 	dst.RFP.PortConflicts += src.RFP.PortConflicts
+	dst.L1PF.Issued += src.L1PF.Issued
+	dst.L1PF.Useful += src.L1PF.Useful
+	dst.L1PF.Late += src.L1PF.Late
+	dst.L1PF.Unused += src.L1PF.Unused
+	dst.L1PF.Dropped += src.L1PF.Dropped
+	dst.L1PF.ManagerEpochs += src.L1PF.ManagerEpochs
+	dst.L1PF.ManagerSwitches += src.L1PF.ManagerSwitches
+	dst.L1PF.ManagerThrottledEpochs += src.L1PF.ManagerThrottledEpochs
 	dst.VP.Predicted += src.VP.Predicted
 	dst.VP.Correct += src.VP.Correct
 	dst.VP.Mispredicted += src.VP.Mispredicted

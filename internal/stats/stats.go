@@ -46,6 +46,9 @@ type Sim struct {
 
 	// RFP is the register-file-prefetch counter block (Figure 13).
 	RFP RFPStats
+	// L1PF is the L1 hardware-prefetcher counter block (the prefetcher
+	// zoo: stream/spp/sisb/managed).
+	L1PF L1PFStats
 	// VP is the value-prediction counter block (Figure 15).
 	VP VPStats
 	// AP is the address-prediction (DLVP) counter block (Figure 16).
@@ -194,6 +197,32 @@ type RFPStats struct {
 	PortConflicts uint64
 }
 
+// L1PFStats counts the life cycle of L1 hardware prefetches (the cache
+// prefetcher zoo), mirroring RFPStats for the scheme that fills caches
+// instead of the register file. Coverage is Useful/Loads, accuracy is
+// Useful/Issued, pollution shows up as Unused.
+type L1PFStats struct {
+	// Issued counts prefetch candidates that won an MSHR and filled the L1.
+	Issued uint64
+	// Useful counts demand accesses that consumed a prefetched line.
+	Useful uint64
+	// Late counts the subset of Useful where demand merged with the
+	// prefetch still in flight (covered, but latency only partly hidden).
+	Late uint64
+	// Unused counts prefetched lines evicted without ever being consumed
+	// (cache pollution).
+	Unused uint64
+	// Dropped counts candidates discarded for want of a free MSHR.
+	Dropped uint64
+
+	// ManagerEpochs/ManagerSwitches/ManagerThrottledEpochs instrument the
+	// adaptive "managed" policy: decision epochs elapsed, active-prefetcher
+	// switches taken, and epochs spent throttled to degree 1.
+	ManagerEpochs          uint64
+	ManagerSwitches        uint64
+	ManagerThrottledEpochs uint64
+}
+
 // VPStats counts value-prediction outcomes.
 type VPStats struct {
 	// Predicted counts loads whose value was predicted and consumed.
@@ -277,6 +306,14 @@ func (s *Sim) RFPExecutedFrac() float64 { return frac(s.RFP.Executed, s.Loads) }
 
 // RFPWrongFrac returns the fraction of loads with a wrong-address prefetch.
 func (s *Sim) RFPWrongFrac() float64 { return frac(s.RFP.Wrong, s.Loads) }
+
+// L1PFCoverage returns the fraction of loads covered by an L1 hardware
+// prefetch.
+func (s *Sim) L1PFCoverage() float64 { return frac(s.L1PF.Useful, s.Loads) }
+
+// L1PFAccuracy returns the fraction of issued L1 prefetches that were
+// consumed.
+func (s *Sim) L1PFAccuracy() float64 { return frac(s.L1PF.Useful, s.L1PF.Issued) }
 
 // VPCoverage returns the fraction of loads that were value predicted.
 func (s *Sim) VPCoverage() float64 { return frac(s.VP.Predicted, s.Loads) }

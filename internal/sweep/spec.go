@@ -38,8 +38,8 @@ type Spec struct {
 	// committed architectural digests are compared. See docs/checking.md.
 	Mode string `json:"mode,omitempty"`
 	// DiffMode names the check pairing for mode "check_diff": one of
-	// check.Modes ("norfp", "novp", "nolatealloc", "baseline", "full");
-	// empty means "norfp". Only valid with mode "check_diff".
+	// check.Modes ("norfp", "novp", "nolatealloc", "nopf", "baseline",
+	// "full"); empty means "norfp". Only valid with mode "check_diff".
 	DiffMode string `json:"diff_mode,omitempty"`
 	// Workloads lists catalog entries to sweep over. An entry may also be
 	// "all" (the whole catalog) or "category:<name>" (one Table 3
