@@ -10,10 +10,16 @@
 //
 // Usage:
 //
-//	rfpsimd [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	rfpsimd [-addr :8080] [-workers N] [-queue N] [-tenant-queue N]
+//	        [-cache N] [-cache-bytes N] [-cache-dir DIR] [-cache-max-bytes N]
+//	        [-self URL] [-peers URL,URL,...] [-peer-timeout 2s]
 //	        [-timeout 5m] [-maxuops N] [-drain 30s] [-http-timeout 2m]
 //	        [-log-format text|json] [-log-level info] [-pprof]
 //	        [-profile-dir DIR]
+//
+// -cache-dir enables the persistent disk result cache (survives
+// restarts); -peers/-self enable peer cache fill over a consistent-hash
+// ring. See docs/fabric.md.
 package main
 
 import (
@@ -24,9 +30,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"rfpsim/internal/fabric"
 	"rfpsim/internal/obs"
 	"rfpsim/internal/service"
 )
@@ -45,6 +53,14 @@ func main() {
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes internals; keep off on untrusted networks)")
 		profileDir = flag.String("profile-dir", "", "capture a CPU profile per executed job into DIR/job-<runid>.pprof")
+
+		cacheBytes  = flag.Int64("cache-bytes", 0, "in-memory result cache byte cap (0 = 256 MiB)")
+		tenantQueue = flag.Int("tenant-queue", 0, "per-tenant queued-job bound before 429s (0 = -queue)")
+		cacheDir    = flag.String("cache-dir", "", "persistent disk result cache directory (empty = disabled)")
+		cacheMaxB   = flag.Int64("cache-max-bytes", 0, "disk cache size cap before LRU eviction (0 = 1 GiB)")
+		self        = flag.String("self", "", "this daemon's base URL as peers reach it (required with -peers)")
+		peersFlag   = flag.String("peers", "", "comma-separated peer base URLs forming the result fabric ring")
+		peerTimeout = flag.Duration("peer-timeout", 0, "per-request deadline for peer cache fills (0 = 2s)")
 	)
 	flag.Parse()
 
@@ -61,15 +77,40 @@ func main() {
 		}
 	}
 
-	svc := service.New(service.Options{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cache,
-		MaxJobUops:     *maxUops,
-		DefaultTimeout: *timeout,
-		Logger:         logger,
-		CPUProfileDir:  *profileDir,
+	var peers []string
+	for _, p := range strings.Split(*peersFlag, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	if len(peers) > 0 && *self == "" {
+		fmt.Fprintln(os.Stderr, "rfpsimd: -peers requires -self (this daemon's own base URL)")
+		os.Exit(2)
+	}
+
+	svc, err := service.New(service.Options{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		TenantQueueDepth: *tenantQueue,
+		CacheEntries:     *cache,
+		CacheBytes:       *cacheBytes,
+		MaxJobUops:       *maxUops,
+		DefaultTimeout:   *timeout,
+		Logger:           logger,
+		CPUProfileDir:    *profileDir,
+		Fabric: fabric.Options{
+			Dir:         *cacheDir,
+			MaxBytes:    *cacheMaxB,
+			Self:        *self,
+			Peers:       peers,
+			PeerTimeout: *peerTimeout,
+			Logger:      logger,
+		},
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rfpsimd: %v\n", err)
+		os.Exit(2)
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/", svc.Handler())
 	if *pprofOn {

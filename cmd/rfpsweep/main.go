@@ -59,6 +59,8 @@ func main() {
 		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		dryRun      = flag.Bool("dry-run", false, "expand and print the unit grid without running it")
+		hedge       = flag.Bool("hedge", false, "race a speculative duplicate attempt on a second endpoint once a unit exceeds the observed p95 latency")
+		hedgeMin    = flag.Duration("hedge-min", 0, "floor on the hedge trigger delay (0 = 250ms)")
 	)
 	flag.Parse()
 	if *specPath == "" {
@@ -117,8 +119,10 @@ func main() {
 			urls[i] = strings.TrimSuffix(strings.TrimSpace(urls[i]), "/")
 		}
 		backend, err = sweep.NewHTTPBackend(urls, sweep.HTTPBackendOptions{
-			MaxAttempts: *retries,
-			Metrics:     m,
+			MaxAttempts:   *retries,
+			Metrics:       m,
+			Hedge:         *hedge,
+			HedgeMinDelay: *hedgeMin,
 		})
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyMinSamples is how many observations a LatencyWindow needs before
+// it reports a percentile: below this the sample is too thin to mean
+// anything and Quantile returns 0 ("no opinion"), which callers treat as
+// "use your configured floor".
+const latencyMinSamples = 8
+
+// LatencyWindow tracks the most recent N operation latencies in a fixed
+// ring and answers percentile queries over them. The sweep HTTP backend
+// uses one to learn the fleet's p95 response time and trigger hedged
+// requests past it; keeping only a bounded recent window (rather than a
+// lifetime histogram) makes the threshold track load shifts within a
+// sweep. All methods are safe for concurrent use.
+type LatencyWindow struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int
+	full bool
+}
+
+// NewLatencyWindow returns a window over the last size observations
+// (size <= 0 selects 128).
+func NewLatencyWindow(size int) *LatencyWindow {
+	if size <= 0 {
+		size = 128
+	}
+	return &LatencyWindow{buf: make([]time.Duration, size)}
+}
+
+// Observe records one latency sample, displacing the oldest once the
+// window is full.
+func (w *LatencyWindow) Observe(d time.Duration) {
+	w.mu.Lock()
+	w.buf[w.next] = d
+	w.next++
+	if w.next == len(w.buf) {
+		w.next, w.full = 0, true
+	}
+	w.mu.Unlock()
+}
+
+// Len returns how many samples the window currently holds.
+func (w *LatencyWindow) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lenLocked()
+}
+
+func (w *LatencyWindow) lenLocked() int {
+	if w.full {
+		return len(w.buf)
+	}
+	return w.next
+}
+
+// Quantile returns the q-th (0 < q <= 1) latency quantile over the
+// window, or 0 while fewer than latencyMinSamples observations exist.
+func (w *LatencyWindow) Quantile(q float64) time.Duration {
+	w.mu.Lock()
+	n := w.lenLocked()
+	if n < latencyMinSamples || q <= 0 || q > 1 {
+		w.mu.Unlock()
+		return 0
+	}
+	samples := make([]time.Duration, n)
+	copy(samples, w.buf[:n])
+	w.mu.Unlock()
+
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := int(float64(n)*q+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return samples[idx]
+}
+
+// P95 is shorthand for Quantile(0.95).
+func (w *LatencyWindow) P95() time.Duration { return w.Quantile(0.95) }

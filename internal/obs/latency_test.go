@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyWindowWarmup(t *testing.T) {
+	w := NewLatencyWindow(16)
+	for i := 0; i < latencyMinSamples-1; i++ {
+		w.Observe(time.Millisecond)
+	}
+	if got := w.P95(); got != 0 {
+		t.Fatalf("P95 with %d samples = %v, want 0 (no opinion)", latencyMinSamples-1, got)
+	}
+	w.Observe(time.Millisecond)
+	if got := w.P95(); got != time.Millisecond {
+		t.Fatalf("P95 over uniform 1ms samples = %v", got)
+	}
+}
+
+func TestLatencyWindowP95(t *testing.T) {
+	w := NewLatencyWindow(100)
+	for i := 1; i <= 100; i++ {
+		w.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := w.P95(); got != 95*time.Millisecond {
+		t.Fatalf("P95 of 1..100ms = %v, want 95ms", got)
+	}
+	if got := w.Quantile(0.5); got != 50*time.Millisecond {
+		t.Fatalf("P50 of 1..100ms = %v, want 50ms", got)
+	}
+}
+
+// TestLatencyWindowSlides pins the point of a window: old samples fall
+// out, so the percentile tracks the recent regime, not sweep history.
+func TestLatencyWindowSlides(t *testing.T) {
+	w := NewLatencyWindow(10)
+	for i := 0; i < 10; i++ {
+		w.Observe(time.Second) // old slow regime
+	}
+	for i := 0; i < 10; i++ {
+		w.Observe(time.Millisecond) // new fast regime displaces it
+	}
+	if got := w.P95(); got != time.Millisecond {
+		t.Fatalf("P95 after window slid = %v, want 1ms", got)
+	}
+	if w.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", w.Len())
+	}
+}

@@ -241,7 +241,10 @@ func TestResolveJobMatchesServerKey(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(Options{Workers: 1})
+	srv, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer srv.Close()
 	rj, err := srv.resolve(req)
 	if err != nil {

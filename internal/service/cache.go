@@ -1,50 +1,95 @@
 package service
 
-import "sync"
+import (
+	"container/list"
+	"sync"
+)
 
-// resultCache is the content-addressed result cache. Simulations are
-// deterministic pure functions of their job key — (config digest, workload
-// spec, seed, windows) — so a cached body can be replayed byte-for-byte
-// for any identical request. Entries are evicted FIFO beyond maxEntries;
-// bodies are small (one marshalled stats block), so the default cap keeps
-// the cache a few MB at most.
+// resultCache is the in-memory tier of the content-addressed result
+// store. Simulations are deterministic pure functions of their job key —
+// (config digest, workload spec, seed, windows) — so a cached body can be
+// replayed byte-for-byte for any identical request. Eviction is true LRU
+// (a get refreshes recency), capped by entry count and by total body
+// bytes so a burst of unusually large responses cannot balloon the
+// daemon; evictions feed rfpsimd_cache_evictions_total via the onEvict
+// hook.
 type resultCache struct {
-	mu         sync.RWMutex
-	entries    map[string][]byte
-	order      []string // insertion order for FIFO eviction
+	mu         sync.Mutex
+	entries    map[string]*list.Element
+	lru        *list.List // front = most recently used
 	maxEntries int
+	maxBytes   int64
+	totalBytes int64
+	onEvict    func() // optional eviction counter hook
 }
 
-func newResultCache(maxEntries int) *resultCache {
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// defaultCacheMaxBytes bounds the in-memory cache when Options leave it
+// 0: 256 MiB, far above 4096 typical bodies, so the entry cap normally
+// binds first.
+const defaultCacheMaxBytes = 256 << 20
+
+func newResultCache(maxEntries int, maxBytes int64) *resultCache {
 	if maxEntries <= 0 {
 		maxEntries = 4096
 	}
-	return &resultCache{entries: make(map[string][]byte), maxEntries: maxEntries}
+	if maxBytes <= 0 {
+		maxBytes = defaultCacheMaxBytes
+	}
+	return &resultCache{
+		entries:    make(map[string]*list.Element),
+		lru:        list.New(),
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+	}
 }
 
 func (c *resultCache) get(key string) ([]byte, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	body, ok := c.entries[key]
-	return body, ok
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
 }
 
 func (c *resultCache) put(key string, body []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.entries[key]; ok {
-		return // identical request raced; the bodies are identical too
+	if el, ok := c.entries[key]; ok {
+		// Identical request raced; the bodies are identical too. Just
+		// refresh recency.
+		c.lru.MoveToFront(el)
+		return
 	}
-	for len(c.entries) >= c.maxEntries && len(c.order) > 0 {
-		delete(c.entries, c.order[0])
-		c.order = c.order[1:]
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, body: body})
+	c.totalBytes += int64(len(body))
+	for (len(c.entries) > c.maxEntries || c.totalBytes > c.maxBytes) && c.lru.Len() > 1 {
+		victim := c.lru.Back()
+		e := victim.Value.(*cacheEntry)
+		c.lru.Remove(victim)
+		delete(c.entries, e.key)
+		c.totalBytes -= int64(len(e.body))
+		if c.onEvict != nil {
+			c.onEvict()
+		}
 	}
-	c.entries[key] = body
-	c.order = append(c.order, key)
 }
 
 func (c *resultCache) len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+func (c *resultCache) bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.totalBytes
 }

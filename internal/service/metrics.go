@@ -21,8 +21,10 @@ type Metrics struct {
 	jobsFailed    atomic.Uint64 // counter: jobs that errored (wedge, bad trace)
 	jobsRejected  atomic.Uint64 // counter: jobs refused with 429 (queue full)
 
-	cacheHits   atomic.Uint64
-	cacheMisses atomic.Uint64
+	cacheHits      atomic.Uint64
+	cacheMisses    atomic.Uint64
+	cacheEvictions atomic.Uint64 // counter: in-memory LRU evictions
+	fabricDedup    atomic.Uint64 // counter: requests coalesced onto an in-flight identical one
 
 	simCycles    atomic.Uint64 // total simulated cycles across all jobs
 	simBusyNanos atomic.Uint64 // total wall time workers spent simulating
@@ -56,6 +58,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	obs.Counter(w, "rfpsimd_jobs_rejected_total", "Jobs refused with 429 because the queue was full.", m.jobsRejected.Load())
 	obs.Counter(w, "rfpsimd_cache_hits_total", "Requests served from the result cache.", m.cacheHits.Load())
 	obs.Counter(w, "rfpsimd_cache_misses_total", "Requests that had to simulate.", m.cacheMisses.Load())
+	obs.Counter(w, "rfpsimd_cache_evictions_total", "Entries evicted from the in-memory result cache (LRU, docs/fabric.md).", m.cacheEvictions.Load())
+	obs.Counter(w, "rfpsimd_fabric_dedup_total", "Requests coalesced onto a concurrent identical in-flight request.", m.fabricDedup.Load())
 	obs.Counter(w, "rfpsimd_sim_cycles_total", "Simulated core cycles across all jobs.", m.simCycles.Load())
 	obs.Counter(w, "rfpsimd_l1pf_issued_total", "L1 hardware prefetches issued across all jobs (docs/prefetchers.md).", m.l1pfIssued.Load())
 	obs.Counter(w, "rfpsimd_l1pf_useful_total", "L1 hardware prefetches consumed by a demand access across all jobs.", m.l1pfUseful.Load())

@@ -1,0 +1,146 @@
+package service
+
+import "sync"
+
+// drrQuantum is the per-round deficit credit, in simulated uops (the unit
+// of work the pool actually spends). Every tenant with queued work earns
+// one quantum per scheduling round; a job dispatches when its tenant's
+// accumulated deficit covers its TotalUops. Interactive tenants with
+// small jobs therefore interleave at uop granularity with a bulk tenant's
+// long queue instead of waiting behind it — classic deficit round-robin.
+const drrQuantum = 64 * 1024
+
+// tenantQueue is one tenant's FIFO plus its deficit counter.
+type tenantQueue struct {
+	jobs    []*job
+	deficit uint64
+}
+
+// scheduler replaces the single FIFO job channel with per-tenant bounded
+// queues drained by deficit round-robin. Admission (push) enforces both a
+// per-tenant and a total bound, so one tenant saturating the daemon gets
+// its own 429s while other tenants' queues stay open — the fair-share
+// half of the fabric story (docs/fabric.md).
+type scheduler struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	tenants   map[string]*tenantQueue
+	order     []string // round-robin order over tenants with queued work
+	rr        int      // next tenant index to credit
+	perTenant int
+	total     int
+	queued    int
+	closed    bool
+}
+
+func newScheduler(perTenant, total int) *scheduler {
+	s := &scheduler{
+		tenants:   make(map[string]*tenantQueue),
+		perTenant: perTenant,
+		total:     total,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// push admits a job to its tenant's queue. The outcomes mirror the old
+// channel semantics: ok, queue-full (per-tenant or total), or draining.
+func (s *scheduler) push(tenant string, j *job) (ok, draining bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, true
+	}
+	if s.queued >= s.total {
+		return false, false
+	}
+	tq := s.tenants[tenant]
+	if tq == nil {
+		tq = &tenantQueue{}
+		s.tenants[tenant] = tq
+	}
+	if len(tq.jobs) >= s.perTenant {
+		return false, false
+	}
+	if len(tq.jobs) == 0 {
+		s.order = append(s.order, tenant)
+	}
+	tq.jobs = append(tq.jobs, j)
+	s.queued++
+	s.cond.Signal()
+	return true, false
+}
+
+// next blocks until a job is schedulable and returns it, or returns false
+// once the scheduler is closed and fully drained (matching the old
+// for-range-over-closed-channel worker loop).
+func (s *scheduler) next() (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.queued > 0 {
+			return s.dequeueLocked(), true
+		}
+		if s.closed {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// dequeueLocked runs DRR rounds until some tenant's head job is covered
+// by its deficit. Deficits grow by one quantum per tenant per round, so
+// the loop always terminates; a tenant whose queue empties leaves the
+// rotation and forfeits its remaining deficit (standard DRR — an idle
+// tenant must not bank credit).
+func (s *scheduler) dequeueLocked() *job {
+	for {
+		if s.rr >= len(s.order) {
+			s.rr = 0
+		}
+		name := s.order[s.rr]
+		tq := s.tenants[name]
+		tq.deficit += drrQuantum
+		cost := tq.jobs[0].cost
+		if tq.deficit >= cost {
+			tq.deficit -= cost
+			j := tq.jobs[0]
+			copy(tq.jobs, tq.jobs[1:])
+			tq.jobs[len(tq.jobs)-1] = nil
+			tq.jobs = tq.jobs[:len(tq.jobs)-1]
+			s.queued--
+			if len(tq.jobs) == 0 {
+				tq.deficit = 0
+				s.order = append(s.order[:s.rr], s.order[s.rr+1:]...)
+				// rr now points at the next tenant already.
+			} else {
+				s.rr++
+			}
+			return j
+		}
+		s.rr++
+	}
+}
+
+// close stops admission and wakes every waiting worker; queued jobs still
+// drain (next keeps returning them until empty).
+func (s *scheduler) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// depth returns the total queued job count.
+func (s *scheduler) depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// tenantsQueued returns how many tenants currently have queued work.
+func (s *scheduler) tenantsQueued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}

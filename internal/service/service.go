@@ -17,13 +17,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
+	"rfpsim/internal/fabric"
 	"rfpsim/internal/obs"
 	"rfpsim/internal/runner"
 	"rfpsim/internal/sample"
@@ -45,6 +48,20 @@ const (
 	// TimingsHeader carries the obs.Timings wire form (per-stage
 	// wall-clock breakdown) on computed — not cache-replayed — responses.
 	TimingsHeader = "X-Rfpsimd-Timings"
+	// CacheHeader reports which tier served a /v1/sim response: "hit"
+	// (this daemon's memory cache), "disk" (the persistent cache),
+	// "peer" (the shard owner's cache), "dedup" (coalesced onto a
+	// concurrent identical request's simulation) or "miss" (simulated
+	// here). The body is byte-identical across all five.
+	CacheHeader = "X-Rfpsimd-Cache"
+	// TenantHeader names the requesting tenant for fair-share admission
+	// (docs/fabric.md). Absent or malformed values fall back to
+	// DefaultTenant rather than erroring: fairness is isolation between
+	// identified bulk users, not authentication.
+	TenantHeader = "X-Rfpsimd-Tenant"
+	// DefaultTenant is the tenant bucket for requests with no (valid)
+	// tenant header.
+	DefaultTenant = "anon"
 )
 
 // Options configures the daemon.
@@ -54,8 +71,12 @@ type Options struct {
 	// QueueDepth bounds jobs accepted but not yet running; a full queue
 	// rejects new jobs with 429 (0 = 4x Workers).
 	QueueDepth int
-	// CacheEntries bounds the result cache (0 = 4096).
+	// CacheEntries bounds the in-memory result cache's entry count
+	// (0 = 4096).
 	CacheEntries int
+	// CacheBytes bounds the in-memory result cache's total body bytes
+	// (0 = 256 MiB). Whichever cap is hit first evicts LRU-wise.
+	CacheBytes int64
 	// MaxJobUops caps (warmup+measure)*seeds per job so one request cannot
 	// monopolize a worker for hours (0 = 50M).
 	MaxJobUops uint64
@@ -72,6 +93,14 @@ type Options struct {
 	// into <dir>/job-<runid>.pprof. The Go runtime supports one CPU
 	// profile at a time, so under a busy pool only some jobs are captured.
 	CPUProfileDir string
+	// Fabric configures the distributed result fabric (persistent disk
+	// cache, peer cache fill over a consistent-hash ring); the zero value
+	// disables both tiers. See docs/fabric.md.
+	Fabric fabric.Options
+	// TenantQueueDepth bounds each tenant's admission queue
+	// (0 = QueueDepth): one tenant's burst 429s against its own bound
+	// while other tenants' queues stay open.
+	TenantQueueDepth int
 }
 
 func (o Options) workers() int {
@@ -93,6 +122,13 @@ func (o Options) maxJobUops() uint64 {
 		return o.MaxJobUops
 	}
 	return 50_000_000
+}
+
+func (o Options) tenantQueueDepth() int {
+	if o.TenantQueueDepth > 0 {
+		return o.TenantQueueDepth
+	}
+	return o.queueDepth()
 }
 
 // SimRequest is the POST /v1/sim body.
@@ -241,17 +277,22 @@ type jobResult struct {
 type job struct {
 	ctx      context.Context
 	resolved *resolvedJob
+	tenant   string
+	cost     uint64         // TotalUops, the DRR scheduling weight
 	enqueued time.Time      // when the job entered the queue (queue-wait histogram)
 	result   chan jobResult // buffered; the worker never blocks on it
 }
 
-// Server is the rfpsimd daemon state: worker pool, queue, cache, metrics.
+// Server is the rfpsimd daemon state: worker pool, fair-share scheduler,
+// cache tiers, metrics.
 type Server struct {
 	opts      Options
-	queue     chan *job
+	sched     *scheduler
 	wg        sync.WaitGroup
 	metrics   *Metrics
 	cache     *resultCache
+	fabric    *fabric.Fabric // nil when no fabric tier is configured
+	flights   fabric.FlightGroup
 	logger    *slog.Logger
 	registry  *obs.Registry
 	jobSecs   *obs.Histogram // wall-clock execution latency per job
@@ -262,8 +303,9 @@ type Server struct {
 }
 
 // New starts the worker pool and returns the server. Callers must Close it
-// to drain.
-func New(opts Options) *Server {
+// to drain. It fails only when a configured fabric tier cannot be opened
+// (e.g. an unwritable -cache-dir).
+func New(opts Options) (*Server, error) {
 	logger := opts.Logger
 	if logger == nil {
 		logger = slog.Default()
@@ -274,9 +316,9 @@ func New(opts Options) *Server {
 	}
 	s := &Server{
 		opts:     opts,
-		queue:    make(chan *job, opts.queueDepth()),
+		sched:    newScheduler(opts.tenantQueueDepth(), opts.queueDepth()),
 		metrics:  &Metrics{},
-		cache:    newResultCache(opts.CacheEntries),
+		cache:    newResultCache(opts.CacheEntries, opts.CacheBytes),
 		logger:   logger,
 		registry: registry,
 		jobSecs: obs.NewHistogram("rfpsimd_job_seconds",
@@ -286,14 +328,29 @@ func New(opts Options) *Server {
 			"Time jobs spend queued before a worker picks them up.",
 			0.0001, 0.001, 0.01, 0.1, 0.5, 1, 5, 10),
 	}
+	s.cache.onEvict = func() { s.metrics.cacheEvictions.Add(1) }
+	if opts.Fabric.Enabled() {
+		fopts := opts.Fabric
+		if fopts.Logger == nil {
+			fopts.Logger = logger
+		}
+		f, err := fabric.New(fopts)
+		if err != nil {
+			return nil, err
+		}
+		s.fabric = f
+	}
 	registry.Register(s.metrics)
 	registry.Register(s.jobSecs)
 	registry.Register(s.queueWait)
+	if s.fabric != nil {
+		registry.Register(s.fabric.Metrics())
+	}
 	for i := 0; i < opts.workers(); i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Metrics exposes the counter block (for tests and embedding).
@@ -304,38 +361,44 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 func (s *Server) Registry() *obs.Registry { return s.registry }
 
 // Close drains the service: no new jobs are accepted, queued and running
-// jobs finish (their waiting handlers get results), then the workers exit.
-// Call http.Server.Shutdown first so no handler is still trying to
-// enqueue.
+// jobs finish (their waiting handlers get results), then the workers exit
+// and pending fabric write-backs complete. Call http.Server.Shutdown
+// first so no handler is still trying to enqueue.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
-		close(s.queue)
+		s.sched.close()
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.fabric != nil {
+		s.fabric.Close()
+	}
 }
 
-// enqueue adds a job unless the queue is full or the server is draining.
+// enqueue adds a job to its tenant's queue unless that queue (or the
+// total) is full or the server is draining.
 func (s *Server) enqueue(j *job) (ok, draining bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return false, true
 	}
-	select {
-	case s.queue <- j:
+	ok, draining = s.sched.push(j.tenant, j)
+	if ok {
 		s.metrics.jobsQueued.Add(1)
-		return true, false
-	default:
-		return false, false
 	}
+	return ok, draining
 }
 
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.sched.next()
+		if !ok {
+			return
+		}
 		s.metrics.jobsQueued.Add(-1)
 		s.metrics.jobsRunning.Add(1)
 		s.queueWait.Observe(time.Since(j.enqueued).Seconds())
@@ -413,6 +476,13 @@ func (s *Server) execute(ctx context.Context, rj *resolvedJob) jobResult {
 	}
 	body = append(body, '\n')
 	s.cache.put(rj.key, body)
+	if s.fabric != nil {
+		// Persist locally and converge the fleet: the shard owner gets a
+		// best-effort write-back so any peer's future miss finds the
+		// result in one hop (docs/fabric.md).
+		s.fabric.DiskPut(rj.key, body)
+		s.fabric.PushToOwner(rj.key, body)
+	}
 	return jobResult{body: body, st: res.Stats, timings: tim}
 }
 
@@ -430,11 +500,12 @@ func (s *Server) resolve(req SimRequest) (*resolvedJob, error) {
 	return rj, nil
 }
 
-// Handler returns the HTTP API: POST /v1/sim, GET /v1/workloads,
-// GET /healthz, GET /metrics.
+// Handler returns the HTTP API: POST /v1/sim, GET/PUT /v1/result/{addr},
+// GET /v1/workloads, GET /healthz, GET /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/sim", s.handleSim)
+	mux.HandleFunc("/v1/result/", s.handleResult)
 	mux.HandleFunc("/v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -454,6 +525,59 @@ func writeJSONError(w http.ResponseWriter, code int, status, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(errorResponse{Error: msg, Status: status})
+}
+
+// Admission-rejection sentinels. The single-flight leader resolves its
+// flight with one of these when the queue refuses the job, so coalesced
+// followers report the same backpressure status the leader did.
+var (
+	errQueueFull = errors.New("job queue is full, retry later")
+	errDraining  = errors.New("server is draining")
+)
+
+// tenantFrom sanitizes the fair-share tenant header: 1-64 chars of
+// [A-Za-z0-9._-]; anything else (including absence) buckets under
+// DefaultTenant. The charset bound keeps tenant names log- and
+// label-safe.
+func tenantFrom(h string) string {
+	if h == "" || len(h) > 64 {
+		return DefaultTenant
+	}
+	for i := 0; i < len(h); i++ {
+		c := h[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return DefaultTenant
+		}
+	}
+	return h
+}
+
+// writeResult writes a deterministic result body with its serving-tier
+// header.
+func writeResult(w http.ResponseWriter, tier string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(CacheHeader, tier)
+	w.Write(body)
+}
+
+// writeJobError maps a job/flight error onto the response contract shared
+// by leaders and coalesced followers.
+func writeJobError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", retryAfterQueueFull)
+		writeJSONError(w, http.StatusTooManyRequests, "rejected", err.Error())
+	case errors.Is(err, errDraining):
+		w.Header().Set("Retry-After", retryAfterDrain)
+		writeJSONError(w, http.StatusServiceUnavailable, "rejected", err.Error())
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		writeJSONError(w, http.StatusRequestTimeout, "cancelled", err.Error())
+	default:
+		writeJSONError(w, http.StatusInternalServerError, "error", err.Error())
+	}
 }
 
 func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
@@ -483,20 +607,66 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, "invalid", err.Error())
 		return
 	}
+	tenant := tenantFrom(r.Header.Get(TenantHeader))
+	log = log.With("workload", rj.job.Spec.Name, "config", rj.job.Config.Name, "tenant", tenant)
 
+	// Tier 1: this daemon's memory cache.
 	if body, ok := s.cache.get(rj.key); ok {
 		s.metrics.cacheHits.Add(1)
-		log.Info("job served from cache",
-			"workload", rj.job.Spec.Name, "config", rj.job.Config.Name, "key", rj.key[:12])
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Rfpsimd-Cache", "hit")
-		w.Write(body)
+		log.Info("job served from cache", "tier", "memory", "key", rj.key[:12])
+		writeResult(w, "hit", body)
 		return
 	}
+	// Tier 2: the persistent disk cache (promoted into memory on hit).
+	if s.fabric != nil {
+		if body, ok := s.fabric.DiskGet(rj.key); ok {
+			s.cache.put(rj.key, body)
+			log.Info("job served from cache", "tier", "disk", "key", rj.key[:12])
+			writeResult(w, "disk", body)
+			return
+		}
+	}
+
+	// Single-flight: concurrent identical requests coalesce onto one
+	// computation. Followers wait for the leader's result; the leader is
+	// responsible for resolving the flight on EVERY exit path below.
+	fl, leader := s.flights.Join(rj.key)
+	if !leader {
+		s.metrics.fabricDedup.Add(1)
+		body, err := fl.Wait(r.Context())
+		if err != nil {
+			writeJobError(w, err)
+			return
+		}
+		log.Info("job coalesced onto concurrent identical request", "key", rj.key[:12])
+		writeResult(w, "dedup", body)
+		return
+	}
+	completed := false
+	complete := func(body []byte, err error) {
+		if !completed {
+			completed = true
+			s.flights.Complete(rj.key, fl, body, err)
+		}
+	}
+	defer complete(nil, errors.New("request aborted before completion"))
+
+	// Tier 3: the shard owner's cache (peer fill). Any failure here
+	// degrades to simulating locally.
+	if s.fabric != nil {
+		if body, ok := s.fabric.FetchFromOwner(r.Context(), rj.key); ok {
+			s.cache.put(rj.key, body)
+			s.fabric.DiskPut(rj.key, body)
+			complete(body, nil)
+			log.Info("job served from cache", "tier", "peer", "key", rj.key[:12])
+			writeResult(w, "peer", body)
+			return
+		}
+	}
+
+	// Tier 4: simulate, through fair-share admission.
 	s.metrics.cacheMisses.Add(1)
-	log.Info("job accepted",
-		"workload", rj.job.Spec.Name, "config", rj.job.Config.Name,
-		"key", rj.key[:12], "total_uops", rj.job.TotalUops())
+	log.Info("job accepted", "key", rj.key[:12], "total_uops", rj.job.TotalUops())
 
 	// Client disconnect cancels the job; the run ID and logger ride the
 	// same context into the worker, runner and sample layers.
@@ -511,33 +681,112 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	j := &job{ctx: ctx, resolved: rj, enqueued: time.Now(), result: make(chan jobResult, 1)}
+	j := &job{
+		ctx: ctx, resolved: rj, tenant: tenant, cost: rj.job.TotalUops(),
+		enqueued: time.Now(), result: make(chan jobResult, 1),
+	}
 	if ok, draining := s.enqueue(j); !ok {
 		s.metrics.jobsRejected.Add(1)
+		err := errQueueFull
 		if draining {
-			w.Header().Set("Retry-After", retryAfterDrain)
-			writeJSONError(w, http.StatusServiceUnavailable, "rejected", "server is draining")
-		} else {
-			w.Header().Set("Retry-After", retryAfterQueueFull)
-			writeJSONError(w, http.StatusTooManyRequests, "rejected", "job queue is full, retry later")
+			err = errDraining
 		}
+		complete(nil, err)
+		writeJobError(w, err)
 		return
 	}
 
 	// The worker always replies: cancellation propagates through ctx into
 	// the simulation loop, which aborts within a context-poll interval.
 	res := <-j.result
+	complete(res.body, res.err)
 	switch {
 	case res.err == nil:
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Rfpsimd-Cache", "miss")
 		w.Header().Set(TimingsHeader, res.timings.String())
-		w.Write(res.body)
-	case errors.Is(res.err, context.Canceled) || errors.Is(res.err, context.DeadlineExceeded):
-		writeJSONError(w, http.StatusRequestTimeout, "cancelled", res.err.Error())
+		writeResult(w, "miss", res.body)
 	default:
-		writeJSONError(w, http.StatusInternalServerError, "error", res.err.Error())
+		writeJobError(w, res.err)
 	}
+}
+
+// handleResult is the fabric's peer protocol (docs/fabric.md):
+//
+//	GET /v1/result/{addr}[?wait=1] serves a cached body from this
+//	daemon's memory or disk tier; with wait=1 it also joins an in-flight
+//	computation of that address (bounded by the client's own deadline)
+//	instead of 404ing it into a duplicate simulation. 404 means "owner
+//	has nothing": the caller simulates.
+//
+//	PUT /v1/result/{addr} is the write-back: a peer that simulated an
+//	address this daemon owns stores the body here so future fleet-wide
+//	misses resolve in one hop. Bodies must parse as a SimResponse; the
+//	address binding itself is trusted (the fabric assumes a trusted
+//	fleet network, like /metrics and /debug/pprof).
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	addr := strings.TrimPrefix(r.URL.Path, "/v1/result/")
+	if !fabric.ValidAddr(addr) {
+		writeJSONError(w, http.StatusBadRequest, "invalid", "malformed content address")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		if body, ok := s.cache.get(addr); ok {
+			writeResult(w, "hit", body)
+			return
+		}
+		if s.fabric != nil {
+			if body, ok := s.fabric.DiskGet(addr); ok {
+				s.cache.put(addr, body)
+				writeResult(w, "disk", body)
+				return
+			}
+		}
+		if r.URL.Query().Get("wait") == "1" {
+			if fl, ok := s.flights.Inflight(addr); ok {
+				if body, err := fl.Wait(r.Context()); err == nil && body != nil {
+					if s.fabric != nil {
+						s.fabric.MarkInflightServed()
+					}
+					writeResult(w, "inflight", body)
+					return
+				}
+			}
+		}
+		writeJSONError(w, http.StatusNotFound, "invalid", "no result for this address")
+	case http.MethodPut:
+		body, err := readResultBody(r)
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, "invalid", err.Error())
+			return
+		}
+		s.cache.put(addr, body)
+		if s.fabric != nil {
+			s.fabric.DiskPut(addr, body)
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeJSONError(w, http.StatusMethodNotAllowed, "invalid", "GET or PUT only")
+	}
+}
+
+// readResultBody reads and sanity-checks a pushed result body: it must be
+// a parseable SimResponse with no unknown fields, so garbage (or an
+// entirely different JSON document) cannot be parked in the cache.
+func readResultBody(r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var sr SimResponse
+	if err := dec.Decode(&sr); err != nil {
+		return nil, fmt.Errorf("body is not a SimResponse: %w", err)
+	}
+	if sr.Stats == nil {
+		return nil, errors.New("body has no stats block")
+	}
+	return body, nil
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
@@ -568,14 +817,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]interface{}{
-		"status":        status,
-		"workers":       s.opts.workers(),
-		"queue_depth":   s.opts.queueDepth(),
-		"jobs_queued":   s.metrics.jobsQueued.Load(),
-		"jobs_running":  s.metrics.jobsRunning.Load(),
-		"cache_entries": s.cache.len(),
-	})
+	body := map[string]interface{}{
+		"status":         status,
+		"workers":        s.opts.workers(),
+		"queue_depth":    s.opts.queueDepth(),
+		"tenant_depth":   s.opts.tenantQueueDepth(),
+		"tenants_queued": s.sched.tenantsQueued(),
+		"jobs_queued":    s.metrics.jobsQueued.Load(),
+		"jobs_running":   s.metrics.jobsRunning.Load(),
+		"cache_entries":  s.cache.len(),
+		"cache_bytes":    s.cache.bytes(),
+	}
+	if s.fabric != nil {
+		body["fabric"] = s.fabric.String()
+	}
+	json.NewEncoder(w).Encode(body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

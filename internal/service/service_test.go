@@ -22,7 +22,10 @@ import (
 
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	svc := New(opts)
+	svc, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -441,7 +444,10 @@ func TestHealthzAndWorkloads(t *testing.T) {
 // TestDrainRefusesNewJobs verifies graceful-drain semantics: after Close,
 // enqueue refuses with a draining signal and healthz reports it.
 func TestDrainRefusesNewJobs(t *testing.T) {
-	svc := New(Options{Workers: 1})
+	svc, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 	svc.Close()

@@ -1,0 +1,182 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+
+	"rfpsim/internal/fabric"
+	"rfpsim/internal/service"
+)
+
+// swapHandler lets a "daemon restart" replace the service behind a live
+// listener without rebinding the port (the ring identity is the URL, so
+// the port must survive the restart).
+type swapHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	h.ServeHTTP(w, r)
+}
+
+func (s *swapHandler) swap(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+// scrapeCounter fetches url/metrics and returns the value of the exactly
+// named sample line (name plus optional label set).
+func scrapeCounter(t *testing.T, url, sample string) float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(sample) + ` ([0-9.e+-]+)$`)
+	m := re.FindSubmatch(raw)
+	if m == nil {
+		t.Fatalf("%s/metrics has no sample %q", url, sample)
+	}
+	v, err := strconv.ParseFloat(string(m[1]), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestFabricFleetSweepServesSecondRunFromFabric is the distributed-fabric
+// acceptance test: a 3-daemon fleet with a shared hash ring and per-daemon
+// disk caches runs a sweep twice, with every daemon restarted (fresh
+// process-equivalent: empty memory cache, same cache dir, same URL) in
+// between. The second run must simulate (almost) nothing — >=90% of units
+// served by the fabric's disk and peer tiers — and produce a byte-identical
+// aggregate CSV.
+func TestFabricFleetSweepServesSecondRunFromFabric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-daemon e2e")
+	}
+	const daemons = 3
+
+	listeners := make([]net.Listener, daemons)
+	urls := make([]string, daemons)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		urls[i] = "http://" + l.Addr().String()
+	}
+
+	dirs := make([]string, daemons)
+	for i := range dirs {
+		dirs[i] = t.TempDir()
+	}
+	newDaemon := func(i int) *service.Server {
+		svc, err := service.New(service.Options{
+			Workers: 2,
+			Fabric: fabric.Options{
+				Dir:   dirs[i],
+				Self:  urls[i],
+				Peers: urls,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return svc
+	}
+
+	services := make([]*service.Server, daemons)
+	swappers := make([]*swapHandler, daemons)
+	for i := 0; i < daemons; i++ {
+		services[i] = newDaemon(i)
+		swappers[i] = &swapHandler{h: services[i].Handler()}
+		hs := &http.Server{Handler: swappers[i]}
+		go hs.Serve(listeners[i])
+		defer hs.Close()
+	}
+	defer func() {
+		for _, svc := range services {
+			svc.Close()
+		}
+	}()
+
+	units := testUnits(t) // 24 distinct units
+	runSweep := func() string {
+		be, err := NewHTTPBackend(urls, HTTPBackendOptions{Metrics: &Metrics{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := Run(context.Background(), units, be, Options{Parallel: 6}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var csv bytes.Buffer
+		if err := sum.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		return csv.String()
+	}
+
+	simulated := func() float64 {
+		total := 0.0
+		for _, u := range urls {
+			total += scrapeCounter(t, u, `rfpsimd_jobs_done_total{status="ok"}`)
+		}
+		return total
+	}
+
+	csv1 := runSweep()
+	sim1 := simulated()
+	if sim1 < float64(len(units)) {
+		t.Fatalf("first run simulated %g jobs, want >= %d (distinct units)", sim1, len(units))
+	}
+
+	// Restart the whole fleet: new Server per slot, same dir + URL. Close
+	// the old one first so its async owner write-backs are flushed.
+	for i := 0; i < daemons; i++ {
+		services[i].Close()
+		services[i] = newDaemon(i)
+		swappers[i].swap(services[i].Handler())
+	}
+
+	csv2 := runSweep()
+	sim2 := simulated() // fresh daemons: counts only second-run simulations
+	if csv2 != csv1 {
+		t.Errorf("aggregate CSV differs between runs:\nrun1:\n%s\nrun2:\n%s", csv1, csv2)
+	}
+	budget := float64(len(units)) * 0.10
+	if sim2 > budget {
+		t.Errorf("second run simulated %g of %d units; fabric must serve >= 90%%", sim2, len(units))
+	}
+	// The fabric tiers actually did the serving (not just the assertion's
+	// complement): disk and peer hits across the fleet cover the units.
+	served := 0.0
+	for _, u := range urls {
+		served += scrapeCounter(t, u, "rfpsimd_fabric_disk_hits_total")
+		served += scrapeCounter(t, u, "rfpsimd_fabric_peer_hits_total")
+	}
+	if served+sim2 < float64(len(units)) {
+		t.Errorf("fabric served %g + simulated %g < %d units", served, sim2, len(units))
+	}
+	fmt.Printf("fabric e2e: run2 simulated=%g fabric-served=%g of %d units\n", sim2, served, len(units))
+}

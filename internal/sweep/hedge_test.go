@@ -1,0 +1,196 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeResult is a minimal valid SimResponse body for fake endpoints that
+// never run a simulator.
+const fakeResult = `{"workload":"spec06_mcf","config":"c","seeds":1,"warmup_uops":1,"measure_uops":1,"cycles":7,"instructions":9,"ipc":1.28}`
+
+// TestHedgedRequestWinsOnSlowPrimary pins the hedge contract: when the
+// primary endpoint stalls past the hedge delay, a speculative attempt on
+// the other endpoint answers the unit, and both hedge counters tick.
+func TestHedgedRequestWinsOnSlowPrimary(t *testing.T) {
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer slow.Close()
+	// Registered after slow.Close so it runs first: the server cannot
+	// observe the loser's cancellation (the unread POST body blocks the
+	// background read), so Close would otherwise wait on the handler.
+	defer close(release)
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, fakeResult)
+	}))
+	defer fast.Close()
+
+	m := &Metrics{}
+	be, err := NewHTTPBackend([]string{slow.URL, fast.URL}, HTTPBackendOptions{
+		Metrics: m, Hedge: true, HedgeMinDelay: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the slow server to be the primary pick.
+	primary := be.endpoints[0]
+
+	resp, err := be.attempt(context.Background(), primary, []byte(`{}`))
+	if err != nil {
+		t.Fatalf("attempt: %v", err)
+	}
+	if resp.Cycles != 7 {
+		t.Errorf("hedged response cycles = %d, want 7 (from the fast endpoint)", resp.Cycles)
+	}
+	if got := m.hedgeLaunched.Load(); got != 1 {
+		t.Errorf("hedges launched = %d, want 1", got)
+	}
+	if got := m.hedgeWins.Load(); got != 1 {
+		t.Errorf("hedge wins = %d, want 1", got)
+	}
+	// The losing primary was cancelled, not failed: its health state must
+	// be untouched, or hedging would progressively bench the whole fleet.
+	if primary.availableAt().After(time.Now()) {
+		t.Error("hedge loser was put on cooldown")
+	}
+	primary.mu.Lock()
+	failures := primary.failures
+	primary.mu.Unlock()
+	if failures != 0 {
+		t.Errorf("hedge loser charged %d failures", failures)
+	}
+}
+
+// TestHedgeNotLaunchedWhenPrimaryIsFast: a primary answering inside the
+// hedge delay must not spend a speculative request.
+func TestHedgeNotLaunchedWhenPrimaryIsFast(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		fmt.Fprint(w, fakeResult)
+	}))
+	defer ts.Close()
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		fmt.Fprint(w, fakeResult)
+	}))
+	defer ts2.Close()
+
+	m := &Metrics{}
+	be, err := NewHTTPBackend([]string{ts.URL, ts2.URL}, HTTPBackendOptions{
+		Metrics: m, Hedge: true, HedgeMinDelay: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.attempt(context.Background(), be.endpoints[0], []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("%d requests for a fast unit, want 1", got)
+	}
+	if got := m.hedgeLaunched.Load(); got != 0 {
+		t.Errorf("hedges launched = %d, want 0", got)
+	}
+}
+
+// TestRunCancellationIsTerminal pins the satellite contract: a context
+// cancelled mid-attempt ends the unit immediately instead of burning the
+// remaining retries against other endpoints.
+func TestRunCancellationIsTerminal(t *testing.T) {
+	var calls atomic.Int32
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+	defer close(release) // before ts.Close: the unread POST body hides client hang-ups from the handler
+
+	be, err := NewHTTPBackend([]string{ts.URL}, HTTPBackendOptions{
+		MaxAttempts: 8, BaseBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, err = be.Run(ctx, testUnits(t)[0])
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("cancelled unit made %d attempts, want 1", got)
+	}
+}
+
+// TestEndpointHealthRecovery pins the health state machine: consecutive
+// failures stack cooldown, and one success fully resets the endpoint —
+// failure count and cooldown both — so a recovered daemon rejoins the
+// rotation at full weight.
+func TestEndpointHealthRecovery(t *testing.T) {
+	var fails atomic.Int32
+	fails.Store(2)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fails.Add(-1) >= 0 {
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintln(w, `{"error":"boom","status":"error"}`)
+			return
+		}
+		fmt.Fprint(w, fakeResult)
+	}))
+	defer ts.Close()
+
+	be, err := NewHTTPBackend([]string{ts.URL}, HTTPBackendOptions{
+		BaseBackoff: 10 * time.Millisecond, MaxBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := be.endpoints[0]
+	for i := 1; i <= 2; i++ {
+		if _, err := be.post(context.Background(), e, []byte(`{}`)); err == nil {
+			t.Fatalf("failure %d did not error", i)
+		}
+		e.mu.Lock()
+		failures := e.failures
+		e.mu.Unlock()
+		if failures != i {
+			t.Fatalf("after failure %d: failures = %d", i, failures)
+		}
+	}
+	if !e.availableAt().After(time.Now()) {
+		t.Fatal("failing endpoint has no cooldown")
+	}
+	if _, err := be.post(context.Background(), e, []byte(`{}`)); err != nil {
+		t.Fatalf("recovery request: %v", err)
+	}
+	e.mu.Lock()
+	failures := e.failures
+	e.mu.Unlock()
+	if failures != 0 {
+		t.Errorf("failures after recovery = %d, want 0", failures)
+	}
+	if e.availableAt().After(time.Now()) {
+		t.Error("recovered endpoint still on cooldown")
+	}
+}

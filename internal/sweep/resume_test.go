@@ -188,9 +188,15 @@ func TestSweepAcceptance(t *testing.T) {
 	wantCSV := runToCSV(t, ref)
 
 	// Two real daemons; B's first 6 sim POSTs are rejected with 429.
-	svcA := service.New(service.Options{Workers: 2})
+	svcA, err := service.New(service.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer svcA.Close()
-	svcB := service.New(service.Options{Workers: 2})
+	svcB, err := service.New(service.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer svcB.Close()
 	tsA := httptest.NewServer(svcA.Handler())
 	defer tsA.Close()

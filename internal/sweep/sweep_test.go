@@ -157,7 +157,10 @@ func flakyHandler(h http.Handler, reject int32) (http.Handler, *atomic.Int32) {
 // TestHTTPBackendRetriesAndFailsOver: a unit first hitting a 429ing
 // endpoint must land on the healthy one and succeed, counting a retry.
 func TestHTTPBackendRetriesAndFailsOver(t *testing.T) {
-	svcA := service.New(service.Options{Workers: 1})
+	svcA, err := service.New(service.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer svcA.Close()
 	always429 := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "0")
