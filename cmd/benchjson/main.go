@@ -172,6 +172,7 @@ type Regression struct {
 	New    float64
 }
 
+// String renders the regression as "bench: metric old -> new".
 func (r Regression) String() string {
 	return fmt.Sprintf("%s: %s %g -> %g", r.Bench, r.Metric, r.Old, r.New)
 }

@@ -1,17 +1,22 @@
 // Command docscheck validates relative markdown links across the
 // repository: every `[text](target)` in every *.md file must point at a
-// file or directory that exists. CI runs it so documentation moves and
-// renames fail the build instead of silently rotting (docs/README.md is
-// the index it protects).
+// file or directory that exists, and every `#fragment` — whether a pure
+// in-page anchor or a fragment on a relative markdown link — must match a
+// heading in the target document. CI runs it so documentation moves,
+// renames and section retitles fail the build instead of silently rotting
+// (docs/README.md is the index it protects).
 //
 // Usage:
 //
 //	docscheck [-root DIR]
 //
-// External links (http, https, mailto) and pure in-page anchors (#...)
-// are skipped; fragments on relative links are stripped before the
-// existence check; a leading "/" anchors the target at -root instead of
-// the linking file's directory. Exits 1 listing every broken link.
+// External links (http, https, mailto) are skipped; a leading "/" anchors
+// the target at -root instead of the linking file's directory. Fragments
+// are resolved against the target's ATX headings using GitHub's slug
+// rules (lowercased, punctuation dropped, spaces to hyphens, duplicate
+// headings suffixed -1, -2, ...); fenced code blocks are ignored when
+// collecting headings. Fragments pointing into non-markdown targets are
+// not checkable and pass. Exits 1 listing every broken link.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"unicode"
 )
 
 // linkRe matches inline markdown links. It deliberately does not match
@@ -31,14 +37,19 @@ import (
 // URL part is captured.
 var linkRe = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
 
+// inlineRe strips inline link syntax from heading text before slugging:
+// GitHub slugs `## See [docs](x.md)` from the text "See docs".
+var inlineRe = regexp.MustCompile(`\[([^\]]*)\]\([^)]*\)`)
+
 // skipDirs are directory names never descended into.
 var skipDirs = map[string]bool{".git": true, "node_modules": true, "testdata": true}
 
-// brokenLink is one dangling reference: where it was written and what it
-// points at.
+// brokenLink is one dangling reference: where it was written, what it
+// points at, and why it failed.
 type brokenLink struct {
 	file   string // markdown file containing the link, root-relative
 	target string // the link as written
+	reason string // "missing target" or "missing anchor"
 }
 
 func main() {
@@ -51,19 +62,30 @@ func main() {
 		os.Exit(2)
 	}
 	for _, b := range broken {
-		fmt.Fprintf(os.Stderr, "docscheck: %s: broken link %q\n", b.file, b.target)
+		fmt.Fprintf(os.Stderr, "docscheck: %s: broken link %q (%s)\n", b.file, b.target, b.reason)
 	}
 	if len(broken) > 0 {
 		fmt.Fprintf(os.Stderr, "docscheck: %d broken link(s) in %d file(s) scanned\n", len(broken), nfiles)
 		os.Exit(1)
 	}
-	fmt.Printf("docscheck: %d relative link(s) OK across %d markdown file(s)\n", nlinks, nfiles)
+	fmt.Printf("docscheck: %d link(s) OK across %d markdown file(s)\n", nlinks, nfiles)
 }
 
-// check walks root, validates every relative link in every markdown file,
-// and returns the broken ones plus scan counts. Files are visited in
-// lexical walk order so the report is deterministic.
+// mdFile is one scanned markdown document.
+type mdFile struct {
+	path string // filesystem path as walked
+	rel  string // root-relative, for reporting
+	data string
+}
+
+// check walks root, validates every relative link and fragment in every
+// markdown file, and returns the broken ones plus scan counts. The walk
+// collects all documents first so fragments can be resolved against the
+// target file's headings regardless of visit order; files are reported in
+// lexical order so the output is deterministic.
 func check(root string) (broken []brokenLink, nfiles, nlinks int, err error) {
+	var files []mdFile
+	headings := map[string]map[string]bool{} // cleaned path -> heading slugs
 	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, werr error) error {
 		if werr != nil {
 			return werr
@@ -77,7 +99,6 @@ func check(root string) (broken []brokenLink, nfiles, nlinks int, err error) {
 		if !strings.EqualFold(filepath.Ext(path), ".md") {
 			return nil
 		}
-		nfiles++
 		data, rerr := os.ReadFile(path)
 		if rerr != nil {
 			return rerr
@@ -86,32 +107,41 @@ func check(root string) (broken []brokenLink, nfiles, nlinks int, err error) {
 		if rerr != nil {
 			rel = path
 		}
-		for _, target := range extractLinks(string(data)) {
-			nlinks++
-			if !targetExists(root, filepath.Dir(path), target) {
-				broken = append(broken, brokenLink{file: rel, target: target})
-			}
-		}
+		files = append(files, mdFile{path: path, rel: rel, data: string(data)})
+		headings[filepath.Clean(path)] = anchors(string(data))
 		return nil
 	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	nfiles = len(files)
+	for _, f := range files {
+		for _, target := range extractLinks(f.data) {
+			nlinks++
+			if ok, reason := resolve(root, f, target, headings); !ok {
+				broken = append(broken, brokenLink{file: f.rel, target: target, reason: reason})
+			}
+		}
+	}
 	sort.Slice(broken, func(i, j int) bool {
 		if broken[i].file != broken[j].file {
 			return broken[i].file < broken[j].file
 		}
 		return broken[i].target < broken[j].target
 	})
-	return broken, nfiles, nlinks, err
+	return broken, nfiles, nlinks, nil
 }
 
-// extractLinks returns the checkable relative targets in one markdown
-// document: external schemes and pure anchors are dropped here, not in
-// the walker, so the per-file link count only counts what was verified.
+// extractLinks returns the checkable targets in one markdown document:
+// external schemes are dropped here, not in the walker, so the per-file
+// link count only counts what was verified. Pure `#anchor` links are kept
+// — they validate against the document's own headings.
 func extractLinks(doc string) []string {
 	var targets []string
 	for _, m := range linkRe.FindAllStringSubmatch(doc, -1) {
 		t := m[1]
 		if strings.HasPrefix(t, "http://") || strings.HasPrefix(t, "https://") ||
-			strings.HasPrefix(t, "mailto:") || strings.HasPrefix(t, "#") {
+			strings.HasPrefix(t, "mailto:") {
 			continue
 		}
 		targets = append(targets, t)
@@ -119,21 +149,90 @@ func extractLinks(doc string) []string {
 	return targets
 }
 
-// targetExists resolves one relative link and stats it. dir is the
-// linking file's directory; a leading "/" re-anchors at the repo root
-// (the GitHub-render convention the docs use).
-func targetExists(root, dir, target string) bool {
+// resolve validates one link from f: the path part must exist on disk
+// (dir-relative, or root-anchored with a leading "/") and the fragment,
+// if any, must match a heading slug in the resolved markdown document.
+// A fragment on a non-markdown target is not checkable and passes.
+func resolve(root string, f mdFile, target string, headings map[string]map[string]bool) (ok bool, reason string) {
+	frag := ""
 	if i := strings.IndexByte(target, '#'); i >= 0 {
-		target = target[:i]
+		frag, target = target[i+1:], target[:i]
 	}
-	if target == "" {
-		return true // "[x](#anchor)" after fragment stripping
+	resolved := f.path
+	if target != "" {
+		base := filepath.Dir(f.path)
+		if strings.HasPrefix(target, "/") {
+			base = root
+			target = strings.TrimPrefix(target, "/")
+		}
+		resolved = filepath.Join(base, filepath.FromSlash(target))
+		if _, err := os.Stat(resolved); err != nil {
+			return false, "missing target"
+		}
 	}
-	base := dir
-	if strings.HasPrefix(target, "/") {
-		base = root
-		target = strings.TrimPrefix(target, "/")
+	if frag == "" {
+		return true, ""
 	}
-	_, err := os.Stat(filepath.Join(base, filepath.FromSlash(target)))
-	return err == nil
+	slugs, scanned := headings[filepath.Clean(resolved)]
+	if !scanned {
+		return true, "" // fragment into a non-markdown (or unscanned) target
+	}
+	if !slugs[strings.ToLower(frag)] {
+		return false, "missing anchor"
+	}
+	return true, ""
+}
+
+// anchors collects the GitHub anchor slugs of every ATX heading in doc.
+// Lines inside fenced code blocks are skipped (a `# comment` in a shell
+// snippet is not a heading); duplicate headings get -1, -2, ... suffixes,
+// matching GitHub's renderer.
+func anchors(doc string) map[string]bool {
+	out := map[string]bool{}
+	counts := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		level := 0
+		for level < len(line) && line[level] == '#' {
+			level++
+		}
+		if level > 6 || level >= len(line) || (line[level] != ' ' && line[level] != '\t') {
+			continue
+		}
+		slug := slugify(line[level:])
+		n := counts[slug]
+		counts[slug]++
+		if n > 0 {
+			slug = fmt.Sprintf("%s-%d", slug, n)
+		}
+		out[slug] = true
+	}
+	return out
+}
+
+// slugify converts heading text to its GitHub anchor: inline link and
+// code markup is stripped to its text, everything is lowercased, runes
+// other than letters, digits, hyphens and underscores are dropped, and
+// spaces become hyphens.
+func slugify(text string) string {
+	text = inlineRe.ReplaceAllString(strings.TrimSpace(text), "$1")
+	text = strings.ReplaceAll(text, "`", "")
+	var b strings.Builder
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
 }

@@ -23,8 +23,9 @@ func writeTree(t *testing.T, dir string, files map[string]string) {
 func TestCheckCleanTree(t *testing.T) {
 	dir := t.TempDir()
 	writeTree(t, dir, map[string]string{
-		"README.md":      "See [docs](docs/guide.md) and [the site](https://example.com) and [a section](#usage).\n",
-		"docs/guide.md":  "Back to [readme](../README.md), [root-anchored](/README.md), [sibling dir](.), [frag](../README.md#top).\n",
+		"README.md": "# Top\n## Usage\nSee [docs](docs/guide.md) and [the site](https://example.com) and [a section](#usage).\n",
+		"docs/guide.md": "Back to [readme](../README.md), [root-anchored](/README.md), [sibling dir](.), " +
+			"[frag](../README.md#top), [root frag](/README.md#usage).\n",
 		"docs/other.txt": "[not markdown](nowhere.md)\n",
 	})
 	broken, nfiles, nlinks, err := check(dir)
@@ -37,9 +38,10 @@ func TestCheckCleanTree(t *testing.T) {
 	if nfiles != 2 {
 		t.Fatalf("scanned %d files, want 2 (the .txt must be skipped)", nfiles)
 	}
-	// README contributes 1 relative link; guide.md contributes 4.
-	if nlinks != 5 {
-		t.Fatalf("verified %d links, want 5", nlinks)
+	// README contributes 2 checkable links (one a pure anchor); guide.md
+	// contributes 5.
+	if nlinks != 7 {
+		t.Fatalf("verified %d links, want 7", nlinks)
 	}
 }
 
@@ -65,6 +67,32 @@ func TestCheckReportsBrokenLinks(t *testing.T) {
 	}
 }
 
+func TestCheckReportsBrokenAnchors(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"README.md": "# Intro\n[ok](#intro) [bad](#missing) [cross ok](docs/g.md#setup) [cross bad](docs/g.md#gone)\n" +
+			"[unverifiable](data.bin#whatever)\n",
+		"docs/g.md": "## Setup\n",
+		"data.bin":  "not markdown",
+	})
+	broken, _, nlinks, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nlinks != 5 {
+		t.Fatalf("verified %d links, want 5", nlinks)
+	}
+	if len(broken) != 2 {
+		t.Fatalf("got %d broken links, want 2: %v", len(broken), broken)
+	}
+	if broken[0].target != "#missing" || broken[0].reason != "missing anchor" {
+		t.Errorf("broken[0] = %+v", broken[0])
+	}
+	if broken[1].target != "docs/g.md#gone" || broken[1].reason != "missing anchor" {
+		t.Errorf("broken[1] = %+v", broken[1])
+	}
+}
+
 func TestCheckSkipsGitAndTestdata(t *testing.T) {
 	dir := t.TempDir()
 	writeTree(t, dir, map[string]string{
@@ -84,13 +112,37 @@ func TestCheckSkipsGitAndTestdata(t *testing.T) {
 func TestExtractLinks(t *testing.T) {
 	doc := "[a](x.md) [b](http://e.com) [c](https://e.com) [d](mailto:x@y) [e](#frag) [f](y.md#s) [g](dir/z.md \"title\")"
 	got := extractLinks(doc)
-	want := []string{"x.md", "y.md#s", "dir/z.md"}
+	want := []string{"x.md", "#frag", "y.md#s", "dir/z.md"}
 	if len(got) != len(want) {
 		t.Fatalf("extractLinks = %v, want %v", got, want)
 	}
 	for i := range want {
 		if got[i] != want[i] {
 			t.Errorf("extractLinks[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAnchors(t *testing.T) {
+	doc := "# My Heading!\n" +
+		"## `code` & words\n" +
+		"## Dup\n" +
+		"## Dup\n" +
+		"```\n# not a heading\n```\n" +
+		"####### too deep\n" +
+		"#nospace\n" +
+		"## With [a link](x.md) inside\n"
+	got := anchors(doc)
+	for _, want := range []string{
+		"my-heading", "code--words", "dup", "dup-1", "with-a-link-inside",
+	} {
+		if !got[want] {
+			t.Errorf("anchors missing %q (got %v)", want, got)
+		}
+	}
+	for _, bad := range []string{"not-a-heading", "too-deep", "nospace", "dup-2"} {
+		if got[bad] {
+			t.Errorf("anchors wrongly contains %q", bad)
 		}
 	}
 }

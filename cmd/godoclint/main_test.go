@@ -1,0 +1,64 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func lintSource(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lintFile(fset, f)
+}
+
+func TestLintFlagsUndocumentedExports(t *testing.T) {
+	src := `package p
+
+func Exported() {}
+
+type Exposed struct{}
+
+const Answer = 42
+
+var (
+	Named   = 1
+	private = 2
+)
+`
+	got := lintSource(t, src)
+	if len(got) != 4 {
+		t.Fatalf("got %d findings, want 4: %v", len(got), got)
+	}
+	for i, want := range []string{"func Exported", "type Exposed", "value Answer", "value Named"} {
+		if !strings.Contains(got[i], want) {
+			t.Errorf("finding %d = %q, want it to mention %q", i, got[i], want)
+		}
+	}
+}
+
+func TestLintAcceptsDocumentedAndUnexported(t *testing.T) {
+	src := `package p
+
+// Exported does something.
+func Exported() {}
+
+func internal() {}
+
+// Grouped constants share one comment.
+const (
+	A = 1
+	B = 2
+)
+
+type T struct{} // T is inline-documented.
+`
+	if got := lintSource(t, src); len(got) != 0 {
+		t.Fatalf("documented file produced findings: %v", got)
+	}
+}

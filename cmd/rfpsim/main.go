@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rfpsim -workload spec06_mcf [-rfp] [-vp eves|dlvp|composite|epp]
+//	rfpsim -workload spec06_mcf [-rfp] [-clp] [-vp eves|dlvp|composite|epp]
 //	       [-oracle l1|l2|llc|mem] [-prefetcher stream|spp|sisb|managed]
 //	       [-2x] [-warmup N] [-measure N] [-seed S]
 //	       [-sample] [-sample-interval N] [-sample-maxk K] [-sample-warmup N]
@@ -18,7 +18,7 @@
 //
 // -diff runs the differential correctness harness (docs/checking.md):
 // the flag-built configuration is paired against a derived baseline
-// (norfp, novp, nolatealloc, nopf, baseline, or full for
+// (norfp, novp, nolatealloc, nopf, noclp, baseline, or full for
 // sampled-vs-full) and the committed architectural traces are compared;
 // any divergence is localized to its first divergent interval and uop
 // and exits non-zero. -checks enables the runtime invariant layer on a
@@ -60,6 +60,7 @@ func main() {
 		useRFP    = flag.Bool("rfp", false, "enable Register File Prefetching")
 		usePAT    = flag.Bool("pat", false, "use the Page Address Table PT encoding")
 		useCtx    = flag.Bool("context", false, "add the path-based context prefetcher")
+		useCLP    = flag.Bool("clp", false, "cache-level-predicted RFP arming schedule (implies -rfp; docs/predictors.md)")
 		vpMode    = flag.String("vp", "", "value prediction: eves, dlvp, composite or epp")
 		oracle    = flag.String("oracle", "", "oracle prefetch study: l1, l2, llc or mem")
 		upscaled  = flag.Bool("2x", false, "use the futuristic Baseline-2x core")
@@ -74,7 +75,7 @@ func main() {
 		lateAlloc = flag.Bool("latealloc", false, "late register allocation (§3.3 pipeline variation)")
 		pfName    = flag.String("prefetcher", "", "L1 hardware prefetcher: stream, spp, sisb or managed (docs/prefetchers.md)")
 		doChecks  = flag.Bool("checks", false, "enable the runtime invariant layer (docs/checking.md)")
-		diffMode  = flag.String("diff", "", "differential harness: norfp, novp, nolatealloc, nopf, baseline or full")
+		diffMode  = flag.String("diff", "", "differential harness: norfp, novp, nolatealloc, nopf, noclp, baseline or full")
 		diffIntvl = flag.Uint64("diff-interval", 0, "divergence-localization interval in uops (0 = default 1000)")
 
 		doSample  = flag.Bool("sample", false, "SimPoint-style sampled simulation (see docs/sampling.md)")
@@ -103,12 +104,16 @@ func main() {
 	if *upscaled {
 		cfg = config.Baseline2x()
 	}
-	if *useRFP {
+	if *useRFP || *useCLP {
 		cfg = cfg.WithRFP()
 		cfg.RFP.UsePAT = *usePAT
 		cfg.RFP.UseContext = *useCtx
 		cfg.RFP.ConfidenceBits = *confBits
 		cfg.RFP.PTEntries = *ptEntries
+		if *useCLP {
+			cfg.RFP.UseCLP = true
+			cfg.Name += "+clp"
+		}
 	}
 	switch *vpMode {
 	case "":
@@ -353,6 +358,18 @@ func printStats(cfgName string, spec trace.Spec, st *stats.Sim) {
 			fmt.Printf("L1PF mgr   epochs %d, switches %d, throttled %d\n",
 				st.L1PF.ManagerEpochs, st.L1PF.ManagerSwitches, st.L1PF.ManagerThrottledEpochs)
 		}
+	}
+	if st.CLP.PredictedTotal() > 0 {
+		fmt.Printf("CLP        predicted %s of loads (accuracy %s), per level ",
+			stats.Pct(st.CLPCoverage()), stats.Pct(st.CLPAccuracy()))
+		for l := 0; l < stats.NumLevels; l++ {
+			if st.CLP.Predicted[l] > 0 {
+				fmt.Printf("%s %s  ", stats.LevelName(l), stats.Pct(st.CLPLevelAccuracy(l)))
+			}
+		}
+		fmt.Println()
+		fmt.Printf("CLP sched  skipped-dram %d, early-armed %d, crit-gated %d\n",
+			st.CLP.SkippedDRAM, st.CLP.EarlyArmed, st.CLP.CritGated)
 	}
 	if st.VP.Predicted > 0 {
 		fmt.Printf("VP         predicted %s of loads, mispredicted %d (flushes %d)\n",

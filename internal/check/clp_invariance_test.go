@@ -1,0 +1,37 @@
+package check
+
+import (
+	"testing"
+
+	"rfpsim/internal/config"
+	"rfpsim/internal/trace"
+)
+
+// TestCLPInvarianceAcrossCatalog holds the cache-level-predicted RFP
+// arming schedule to the same invisibility contract as every other
+// mechanism: for EVERY catalog workload, CLP-scheduled RFP (DRAM
+// skipping, near-hit early arming, criticality gating under queue
+// pressure) must commit a byte-identical architectural trace to the same
+// core with the schedule disabled. CLP only decides WHEN and WHETHER a
+// register-file prefetch is sent — never what value a load commits.
+func TestCLPInvarianceAcrossCatalog(t *testing.T) {
+	t.Parallel()
+	variant := config.Baseline().WithCLP()
+	base, _, err := BaseFor("noclp", variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range trace.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res := requireClean(t, Differential{
+				Base: base, Variant: variant,
+				Spec: mustSpec(t, name), Uops: 3000,
+			})
+			if res.VariantStats.Loads == 0 {
+				t.Fatal("variant retired no loads — the comparison is vacuous")
+			}
+		})
+	}
+}

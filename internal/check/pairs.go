@@ -16,11 +16,14 @@ import (
 //	nopf        — variant with the L1 hardware prefetcher disabled
 //	              (prefetcher-invariance: timing-only, architecturally
 //	              invisible)
+//	noclp       — variant with the cache-level-predicted RFP arming
+//	              schedule disabled (CLP-invariance: skipping, early
+//	              arming and criticality gating are timing-only)
 //	baseline    — the plain Baseline/Baseline2x core (every mechanism off)
 //	full        — the same configuration run full-window; the variant
 //	              side runs sampled (requires a sampling spec)
 func Modes() []string {
-	return []string{"norfp", "novp", "nolatealloc", "nopf", "baseline", "full"}
+	return []string{"norfp", "novp", "nolatealloc", "nopf", "noclp", "baseline", "full"}
 }
 
 // BaseFor derives the base configuration for a named diff mode.
@@ -31,9 +34,18 @@ func BaseFor(mode string, variant config.Core) (base config.Core, sampledVsFull 
 	case "norfp":
 		base = variant
 		base.RFP.Enabled = false
+		base.RFP.UseCLP = false
 		base.Name = strings.ReplaceAll(base.Name, "+rfp", "")
 		if base.Name == variant.Name {
 			base.Name += "-norfp"
+		}
+		return base, false, nil
+	case "noclp":
+		base = variant
+		base.RFP.UseCLP = false
+		base.Name = strings.ReplaceAll(base.Name, "+clp", "")
+		if base.Name == variant.Name {
+			base.Name += "-noclp"
 		}
 		return base, false, nil
 	case "novp":
@@ -55,6 +67,7 @@ func BaseFor(mode string, variant config.Core) (base config.Core, sampledVsFull 
 	case "baseline":
 		base = variant
 		base.RFP.Enabled = false
+		base.RFP.UseCLP = false
 		base.VP.Mode = config.VPNone
 		base.Oracle = config.OracleNone
 		base.LateRegAlloc = false

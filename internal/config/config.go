@@ -204,6 +204,14 @@ type RFPConfig struct {
 	// estimator flags as commit-stalling — the targeted-prefetching
 	// extension the paper leaves as future work (§5.1).
 	CriticalOnly bool
+	// UseCLP drives RFP with a cache-level predictor (Jalili & Erez
+	// style): loads confidently predicted to hit the L1/L2 arm the
+	// RFP-inflight bit one cycle earlier, loads predicted to go to DRAM
+	// skip prefetching, and when the prefetch queue is contested the
+	// criticality estimator decides who keeps their slot. The field is
+	// omitempty in JSON so configurations predating the predictor keep
+	// their content addresses.
+	UseCLP bool `json:",omitempty"`
 }
 
 // VPMode selects which load value/address prediction scheme runs.
@@ -381,6 +389,17 @@ func (c Core) WithRFP() Core {
 	return c
 }
 
+// WithCLP returns a copy of c with RFP enabled and driven by the
+// cache-level predictor.
+func (c Core) WithCLP() Core {
+	if !c.RFP.Enabled {
+		c = c.WithRFP()
+	}
+	c.RFP.UseCLP = true
+	c.Name += "+clp"
+	return c
+}
+
 // WithPrefetcher returns a copy of c with the named L1 hardware
 // prefetcher enabled. The name must be one of Prefetchers(); Validate
 // rejects anything else.
@@ -423,6 +442,8 @@ func (c *Core) Validate() error {
 		return fmt.Errorf("config %q: invalid RFP parameters", c.Name)
 	case c.RFP.Enabled && (c.RFP.ConfidenceBits < 1 || c.RFP.ConfidenceBits > 8):
 		return fmt.Errorf("config %q: confidence bits out of range", c.Name)
+	case c.RFP.UseCLP && !c.RFP.Enabled:
+		return fmt.Errorf("config %q: RFP.UseCLP requires RFP.Enabled", c.Name)
 	case c.SchedDepth <= 0:
 		return fmt.Errorf("config %q: scheduling depth must be positive", c.Name)
 	case c.BranchPredictor != "" && c.BranchPredictor != "tage" && c.BranchPredictor != "gshare":

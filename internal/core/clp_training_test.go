@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"rfpsim/internal/config"
+	"rfpsim/internal/isa"
+	"rfpsim/internal/predictor"
+	"rfpsim/internal/stats"
+	"rfpsim/internal/trace"
+)
+
+// clpTestSpec returns the catalog workload the CLP training tests run on.
+func clpTestSpec(t *testing.T) trace.Spec {
+	t.Helper()
+	spec, ok := trace.ByName("spec06_gcc")
+	if !ok {
+		t.Fatal("spec06_gcc missing from catalog")
+	}
+	return spec
+}
+
+// TestCLPUntrainedByFastForward pins the FastForward contract for the
+// cache-level predictor: functional warming has no timing, so it must
+// leave the CLP table untouched. After fast-forwarding a real workload,
+// every load PC in the consumed stream must still miss the (tagged)
+// table — no confident prediction, level 0.
+func TestCLPUntrainedByFastForward(t *testing.T) {
+	spec := clpTestSpec(t)
+	const n = 20000
+
+	// Collect the load PCs of the exact stream FastForward will consume.
+	gen := spec.New()
+	pcs := map[uint64]bool{}
+	var op isa.MicroOp
+	for i := 0; i < n && gen.Next(&op); i++ {
+		if op.IsLoad() {
+			pcs[op.PC] = true
+		}
+	}
+	if len(pcs) == 0 {
+		t.Fatal("stream contains no loads — the test is vacuous")
+	}
+
+	c := New(config.Baseline().WithCLP(), spec.New())
+	if c.clp == nil {
+		t.Fatal("WithCLP core built without a cache-level predictor")
+	}
+	if err := c.FastForward(context.Background(), n); err != nil {
+		t.Fatal(err)
+	}
+	for pc := range pcs {
+		if level, confident := c.clp.Predict(pc); confident || level != 0 {
+			t.Fatalf("FastForward trained the CLP: Predict(%#x) = (%d, %v), want (0, false)", pc, level, confident)
+		}
+	}
+}
+
+// TestCLPTrainsOnlyAtCommit proves the predictor's training events are
+// exactly the retired-load stream: replaying (PC, serving level) from the
+// onRetire hook into a fresh reference CLP reproduces the core's table
+// bit-for-bit, as observed through Predict. Squashed instances, replays
+// and dispatch-time lookups therefore contribute nothing.
+func TestCLPTrainsOnlyAtCommit(t *testing.T) {
+	spec := clpTestSpec(t)
+	c := New(config.Baseline().WithCLP(), spec.New())
+	c.WarmCaches()
+
+	ref := predictor.NewCLP(12, stats.NumLevels)
+	pcs := map[uint64]bool{}
+	retired := 0
+	c.onRetire = func(e *entry) {
+		if !e.isLoad() {
+			return
+		}
+		// retire() has already trained c.clp on this entry; mirroring the
+		// same (PC, level) into the reference keeps the tables in lockstep
+		// iff retirement is the ONLY training site.
+		ref.Train(e.op.PC, e.hitLevel)
+		pcs[e.op.PC] = true
+		retired++
+	}
+	if _, err := c.Run(context.Background(), 30000); err != nil {
+		t.Fatal(err)
+	}
+	if retired == 0 {
+		t.Fatal("no loads retired — the comparison is vacuous")
+	}
+
+	for pc := range pcs {
+		gotL, gotC := c.clp.Predict(pc)
+		wantL, wantC := ref.Predict(pc)
+		if gotL != wantL || gotC != wantC {
+			t.Fatalf("Predict(%#x) = (%d, %v) but retire-stream replay gives (%d, %v): CLP trained outside load commit",
+				pc, gotL, gotC, wantL, wantC)
+		}
+	}
+	if c.st.CLP.PredictedTotal() == 0 {
+		t.Error("cycle run made no confident predictions — dispatch lookup is not wired")
+	}
+}

@@ -104,6 +104,17 @@ func (c *Core) retire(e *entry) {
 			c.profile.record(e)
 		}
 		c.trainLoadCommit(e.op.PC, e.pathAtDispatch, e.pathAtFetch, e.op.Addr, e.op.Value)
+		// The cache-level predictor trains here and only here: the serving
+		// level is a timing fact known at retirement, and commit-order
+		// training keeps squashed or replayed instances out of the table
+		// (FastForward deliberately skips it — functional warming has no
+		// levels to observe).
+		if c.clp != nil {
+			if e.clpPredicted && int(e.clpLevel) == e.hitLevel {
+				c.st.CLP.Correct[e.clpLevel]++
+			}
+			c.clp.Train(e.op.PC, e.hitLevel)
+		}
 		if c.crit != nil {
 			if e.stalledHead {
 				c.crit.MarkCritical(e.op.PC)

@@ -45,6 +45,7 @@ type Core struct {
 	pf   *rfp.Prefetcher
 	rfpQ *rfp.Queue
 	crit *predictor.Criticality
+	clp  *predictor.CLP
 
 	eves *vp.EVES
 	dlvp *vp.DLVP
@@ -161,8 +162,14 @@ func New(cfg config.Core, gen isa.Generator) *Core {
 	if cfg.RFP.Enabled {
 		c.pf = rfp.NewPrefetcher(cfg.RFP, 0x5EED0F9F)
 		c.rfpQ = rfp.NewQueue(cfg.RFP.QueueSize)
-		if cfg.RFP.CriticalOnly {
+		// The criticality estimator serves two masters: the CriticalOnly
+		// injection filter and the CLP contested-port gate. Either knob
+		// brings it up; it trains from commit stalls whenever present.
+		if cfg.RFP.CriticalOnly || cfg.RFP.UseCLP {
 			c.crit = predictor.NewCriticality(12)
+		}
+		if cfg.RFP.UseCLP {
+			c.clp = predictor.NewCLP(12, stats.NumLevels)
 		}
 	}
 	switch cfg.VP.Mode {

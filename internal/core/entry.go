@@ -90,6 +90,11 @@ type entry struct {
 	rfpFwdWaitPC uint64 // unresolved same-set store PC the prefetch waits on
 	rfpConsumed  bool   // the load consumed prefetched register file data
 
+	// Cache-level-prediction state (the CLP-driven arming schedule).
+	clpPredicted bool  // a confident level prediction was made at dispatch
+	clpLevel     uint8 // the predicted hierarchy level (valid iff clpPredicted)
+	clpEarlyArm  bool  // predicted L1/L2 hit: arm the RFP bit a cycle early
+
 	// Checker shadow-value state (checker.go), tracked only when the
 	// checking layer is attached. delivered is the store value the
 	// datapath read for this load; deliveredInit marks a read that saw

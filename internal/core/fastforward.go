@@ -31,8 +31,10 @@ const ffCtxCheckUops = 1 << 16
 //   - the EVES and DLVP value/address predictors.
 //
 // Structures whose training observes pipeline timing — store sets
-// (ordering violations), criticality, the DLVP no-forward filter — are
-// left alone: functional warming has no timing to train them with.
+// (ordering violations), criticality, the cache-level predictor (it
+// trains from the level that actually served each load, which only cycle
+// simulation produces), the DLVP no-forward filter — are left alone:
+// functional warming has no timing to train them with.
 //
 // FastForward must run before any cycle simulation; it returns an error
 // if the core has already fetched or dispatched uops, if the generator

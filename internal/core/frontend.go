@@ -301,8 +301,40 @@ func (c *Core) dispatchLoad(e *entry, idx int, f fetched) {
 		addr, eligible := c.pf.Allocate(e.op.PC, c.pathHash)
 		// The criticality-targeted variant (§5.1 future work) only spends
 		// queue slots and L1 bandwidth on loads known to stall commit.
-		if c.crit != nil && !c.crit.IsCritical(e.op.PC) {
+		if c.cfg.RFP.CriticalOnly && c.crit != nil && !c.crit.IsCritical(e.op.PC) {
 			eligible = false
+		}
+		// The cache-level-predicted arming schedule (docs/predictors.md):
+		// a confident level prediction shapes how — and whether — this
+		// load's prefetch is spent.
+		if c.clp != nil {
+			if level, confident := c.clp.Predict(e.op.PC); confident {
+				e.clpPredicted = true
+				e.clpLevel = uint8(level)
+				c.st.CLP.Predicted[level]++
+				switch {
+				case level == stats.LevelMem:
+					// A rename-time prefetch cannot outrun a DRAM access;
+					// the queue slot and L1 port go to a load they can help.
+					if eligible && !e.vpPredicted {
+						c.st.CLP.SkippedDRAM++
+					}
+					eligible = false
+				case c.hier.NearHit(level):
+					// Predicted L1/L2 hit: the per-level latency estimate is
+					// short and reliable, so the RFP-inflight bit arms a
+					// cycle early and the load can rely on the prefetch that
+					// much sooner.
+					e.clpEarlyArm = true
+				}
+			}
+			// Contested queue: when half the prefetch slots are taken,
+			// only commit-stalling (critical) loads may claim the rest.
+			if eligible && !e.vpPredicted && c.rfpQ.Contested() &&
+				!c.crit.IsCritical(e.op.PC) {
+				eligible = false
+				c.st.CLP.CritGated++
+			}
 		}
 		if eligible && !e.vpPredicted {
 			c.st.RFP.Injected++

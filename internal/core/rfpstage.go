@@ -112,8 +112,16 @@ func (c *Core) rfpArbitrate() {
 		// address-calculation stage after the port grant — for hits this
 		// is exactly SchedDepth cycles before the data lands (§3.3); for
 		// misses the bit is set at the same early point and the load's
-		// dependents simply align to the later fill (§3.2.2).
-		e.rfpArmedAt = c.cycle + 2
+		// dependents simply align to the later fill (§3.2.2). A confident
+		// near-hit level prediction arms the bit at the port grant itself:
+		// the predicted latency is known, so there is nothing to wait for
+		// (the CLP extension deliberately departs from the flat schedule).
+		if e.clpEarlyArm {
+			e.rfpArmedAt = c.cycle + 1
+			c.st.CLP.EarlyArmed++
+		} else {
+			e.rfpArmedAt = c.cycle + 2
+		}
 		if res.Level != stats.LevelL1 {
 			c.st.RFP.L1Misses++
 		}
@@ -129,8 +137,9 @@ func (c *Core) rfpArbitrate() {
 			// Invariant (§3.3): for an L1 hit the RFP-inflight bit leads
 			// the register file fill by exactly the wakeup/select/read
 			// depth — checked when the config keeps the paper's alignment
-			// L1Latency == SchedDepth + 2.
-			if c.chk.invariants && res.Level == stats.LevelL1 &&
+			// L1Latency == SchedDepth + 2. Early-armed CLP prefetches are
+			// exempt: stretching the lead is exactly their point.
+			if c.chk.invariants && !e.clpEarlyArm && res.Level == stats.LevelL1 &&
 				c.cfg.Mem.L1Latency == c.cfg.SchedDepth+2 &&
 				e.rfpFillAt-e.rfpArmedAt != uint64(c.cfg.SchedDepth) {
 				c.st.Checks.RFPArmLeadSkew++

@@ -41,6 +41,9 @@ func TestStepZeroAllocs(t *testing.T) {
 		// The prefetcher zoo rides the demand path, so every scheme (and
 		// the adaptive manager, which runs all of them) must honor the
 		// same zero-alloc contract.
+		// The CLP schedule adds a prediction per dispatched load and a
+		// training update per committed one; both must stay table-only.
+		{"clp", config.Baseline().WithCLP()},
 		{"spp", config.Baseline().WithRFP().WithPrefetcher("spp")},
 		{"sisb", config.Baseline().WithRFP().WithPrefetcher("sisb")},
 		{"managed", config.Baseline().WithRFP().WithPrefetcher("managed")},

@@ -246,6 +246,7 @@ func All() []Experiment {
 		{"bpquality", "Extension: branch predictor quality vs RFP gain", runBPQuality},
 		{"latealloc", "Section 3.3 variation: late register allocation", runLateAlloc},
 		{"cycleacct", "Top-down commit-slot accounting (where RFP's gain comes from)", runCycleAccounting},
+		{"clp", "Extension: cache-level-predicted RFP arming schedule", runCLP},
 	}
 }
 

@@ -84,6 +84,19 @@ func NewHierarchy(cfg config.MemConfig, oracle config.OracleMode, st *stats.Sim)
 // level.
 func (h *Hierarchy) Latency(level int) uint64 { return h.latency[level] }
 
+// NearHit reports whether a load served at level completes within the
+// private-cache latency bound (the oracle-adjusted L2 latency). The
+// CLP-driven RFP arming schedule treats a predicted near hit as safe to
+// arm early: its fill time is short and precisely estimable, unlike an
+// MSHR merge (whose latency depends on an unrelated in-flight miss) or an
+// LLC/DRAM access (which a rename-time prefetch cannot beat anyway).
+func (h *Hierarchy) NearHit(level int) bool {
+	if level == stats.LevelMSHR {
+		return false
+	}
+	return h.latency[level] <= h.latency[stats.LevelL2]
+}
+
 // L1Contains reports whether the line holding addr is present in the L1,
 // without perturbing replacement state. DLVP's early probe uses this.
 func (h *Hierarchy) L1Contains(addr uint64) bool {

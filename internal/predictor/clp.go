@@ -1,0 +1,112 @@
+package predictor
+
+// CLP is a cache-level predictor in the spirit of Jalili & Erez ("Reducing
+// Load Latency with Cache Level Prediction"): a PC-indexed tagged table
+// that predicts which memory hierarchy level will serve a load, trained at
+// commit from the level that actually served it. RFP uses the prediction
+// to shape its arming schedule — predicted near hits (L1/L2) arm the
+// RFP-inflight bit earlier, predicted DRAM loads skip prefetching
+// entirely, since a prefetch launched at rename cannot beat a demand load
+// through a 200-cycle DRAM access anyway.
+//
+// Each entry carries one saturating confidence counter per hierarchy
+// level. Training bumps the observed level's counter and decays the
+// others, so a load that wanders between levels never reaches the
+// confidence threshold and CLP abstains — a wrong level prediction is
+// worse than none, because it either skips a useful prefetch or arms one
+// on a latency estimate that will not hold.
+//
+// Storage is fixed at construction (a flat counter array, no maps), so
+// predictions and training are allocation-free in the cycle loop.
+type CLP struct {
+	mask   uint64
+	levels int
+	tags   []uint16
+	conf   []uint8 // len(tags) * levels, row-major per entry
+}
+
+// clpMax saturates the per-level confidence counters; clpThreshold is the
+// minimum counter value at which a prediction is offered. A +2 bump / -1
+// decay with a threshold of 8 needs a run of ~4 same-level observations
+// to open predictions and a couple of contrary ones to close them.
+const (
+	clpMax       = 15
+	clpThreshold = 8
+)
+
+// NewCLP builds a direct-mapped cache-level predictor with 2^tableBits
+// entries over the given number of hierarchy levels (stats.NumLevels for
+// the simulator's five-level hierarchy).
+func NewCLP(tableBits uint, levels int) *CLP {
+	size := 1 << tableBits
+	return &CLP{
+		mask:   uint64(size - 1),
+		levels: levels,
+		tags:   make([]uint16, size),
+		conf:   make([]uint8, size*levels),
+	}
+}
+
+func (p *CLP) index(pc uint64) uint64 { return (pc ^ pc>>12) & p.mask }
+
+// clpTag folds the PC bits above the index into the entry tag. Tag 0 is
+// reserved for "never trained", so a real PC folding to 0 is nudged to 1;
+// the resulting alias is indistinguishable from any other tag collision
+// and handled the same way (the entry retrains).
+func (p *CLP) clpTag(pc uint64) uint16 {
+	t := uint16(pc>>4) ^ uint16(pc>>20)
+	if t == 0 {
+		t = 1
+	}
+	return t
+}
+
+// Predict returns the hierarchy level expected to serve the load at pc.
+// confident is false — and the level meaningless — when the entry is
+// untrained, tagged for a different PC, or no level counter has reached
+// the confidence threshold.
+func (p *CLP) Predict(pc uint64) (level int, confident bool) {
+	i := p.index(pc)
+	if p.tags[i] != p.clpTag(pc) {
+		return 0, false
+	}
+	row := p.conf[int(i)*p.levels : (int(i)+1)*p.levels]
+	best, bestLevel := uint8(0), 0
+	for l, c := range row {
+		if c > best {
+			best, bestLevel = c, l
+		}
+	}
+	return bestLevel, best >= clpThreshold
+}
+
+// Train records that the load at pc was actually served by level. Call it
+// at load commit only: the serving level is a timing fact, and training it
+// anywhere else (e.g. at issue, where a later squash may discard the load)
+// would let wrong-path or replayed instances pollute the table.
+func (p *CLP) Train(pc uint64, level int) {
+	if level < 0 || level >= p.levels {
+		return
+	}
+	i := p.index(pc)
+	row := p.conf[int(i)*p.levels : (int(i)+1)*p.levels]
+	if tag := p.clpTag(pc); p.tags[i] != tag {
+		// Tag replacement: the previous occupant's history is useless for
+		// this PC, so the whole row restarts from zero.
+		p.tags[i] = tag
+		for l := range row {
+			row[l] = 0
+		}
+	}
+	for l := range row {
+		if l == level {
+			if row[l] <= clpMax-2 {
+				row[l] += 2
+			} else {
+				row[l] = clpMax
+			}
+		} else if row[l] > 0 {
+			row[l]--
+		}
+	}
+}

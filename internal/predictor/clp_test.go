@@ -1,0 +1,139 @@
+package predictor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refCLP is an unbounded reference model of the cache-level predictor:
+// per-PC level counters in a map, no table, no tags, no collisions. The
+// real table must behave identically whenever its entries are not
+// aliased, which the property test arranges by construction.
+type refCLP struct {
+	levels int
+	conf   map[uint64][]uint8
+}
+
+func newRefCLP(levels int) *refCLP {
+	return &refCLP{levels: levels, conf: map[uint64][]uint8{}}
+}
+
+func (r *refCLP) Train(pc uint64, level int) {
+	if level < 0 || level >= r.levels {
+		return
+	}
+	row := r.conf[pc]
+	if row == nil {
+		row = make([]uint8, r.levels)
+		r.conf[pc] = row
+	}
+	for l := range row {
+		if l == level {
+			if row[l] <= clpMax-2 {
+				row[l] += 2
+			} else {
+				row[l] = clpMax
+			}
+		} else if row[l] > 0 {
+			row[l]--
+		}
+	}
+}
+
+func (r *refCLP) Predict(pc uint64) (int, bool) {
+	row := r.conf[pc]
+	if row == nil {
+		return 0, false
+	}
+	best, bestLevel := uint8(0), 0
+	for l, c := range row {
+		if c > best {
+			best, bestLevel = c, l
+		}
+	}
+	return bestLevel, best >= clpThreshold
+}
+
+// TestCLPMatchesReferenceModel drives the tagged table and the unbounded
+// map reference with an identical random train/predict stream (mirroring
+// the SPP property test in internal/mem). The PCs are chosen to occupy
+// distinct table entries, so any disagreement is a real logic bug in the
+// table — indexing, tag handling, or the counter update rule.
+func TestCLPMatchesReferenceModel(t *testing.T) {
+	const levels = 5
+	rng := rand.New(rand.NewSource(0xC19))
+	table := NewCLP(14, levels)
+	ref := newRefCLP(levels)
+
+	// Draw PCs that collide on neither index nor (index, tag) pair.
+	usedIdx := map[uint64]bool{}
+	var pcs []uint64
+	for len(pcs) < 48 {
+		pc := rng.Uint64() &^ 0x3 // instruction-aligned, like real PCs
+		if i := table.index(pc); !usedIdx[i] {
+			usedIdx[i] = true
+			pcs = append(pcs, pc)
+		}
+	}
+
+	for step := 0; step < 20000; step++ {
+		pc := pcs[rng.Intn(len(pcs))]
+		if rng.Intn(4) == 0 {
+			gotL, gotC := table.Predict(pc)
+			wantL, wantC := ref.Predict(pc)
+			if gotC != wantC || (gotC && gotL != wantL) {
+				t.Fatalf("step %d pc %#x: Predict = (%d, %v), reference = (%d, %v)",
+					step, pc, gotL, gotC, wantL, wantC)
+			}
+			continue
+		}
+		level := rng.Intn(levels)
+		table.Train(pc, level)
+		ref.Train(pc, level)
+	}
+}
+
+// TestCLPTagReplacementRetrains pins the aliasing behavior the reference
+// model cannot express: when a second PC maps to the same entry, its first
+// Train must evict the old tag and restart the counters, so the old PC's
+// confidence never leaks into the new one's predictions.
+func TestCLPTagReplacementRetrains(t *testing.T) {
+	const levels = 5
+	p := NewCLP(4, levels) // tiny table to force sharing
+	var a, b uint64 = 0x1000, 0
+	for cand := uint64(0x2000); ; cand += 0x10 {
+		if p.index(cand) == p.index(a) && p.clpTag(cand) != p.clpTag(a) {
+			b = cand
+			break
+		}
+	}
+	for i := 0; i < 10; i++ {
+		p.Train(a, 3)
+	}
+	if l, ok := p.Predict(a); !ok || l != 3 {
+		t.Fatalf("after training, Predict(a) = (%d, %v), want (3, true)", l, ok)
+	}
+	// b shares the entry but not the tag: no confidence inheritance.
+	if _, ok := p.Predict(b); ok {
+		t.Fatal("Predict(b) confident before b was ever trained")
+	}
+	p.Train(b, 1)
+	if _, ok := p.Predict(b); ok {
+		t.Fatal("Predict(b) confident after a single observation — counters were not reset on tag replacement")
+	}
+	// And a's history is gone with its tag.
+	if _, ok := p.Predict(a); ok {
+		t.Fatal("Predict(a) still confident after its entry was re-tagged for b")
+	}
+}
+
+// TestCLPOutOfRangeLevelIgnored guards the Train precondition: a level
+// outside [0, levels) must be dropped, not corrupt adjacent rows.
+func TestCLPOutOfRangeLevelIgnored(t *testing.T) {
+	p := NewCLP(4, 5)
+	p.Train(0x40, -1)
+	p.Train(0x40, 5)
+	if _, ok := p.Predict(0x40); ok {
+		t.Fatal("out-of-range training produced a confident prediction")
+	}
+}

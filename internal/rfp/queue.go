@@ -43,6 +43,12 @@ func (q *Queue) Len() int { return q.size }
 // Cap returns the queue capacity.
 func (q *Queue) Cap() int { return len(q.buf) }
 
+// Contested reports whether at least half the queue's slots are occupied —
+// the pressure threshold at which the CLP-extended arming schedule lets
+// only criticality-flagged loads claim the remaining slots
+// (docs/predictors.md).
+func (q *Queue) Contested() bool { return 2*q.size >= len(q.buf) }
+
 // Push enqueues a packet, reporting false if the queue is full.
 func (q *Queue) Push(p Packet) bool {
 	if q.size == len(q.buf) {

@@ -10,6 +10,33 @@ func fillQueue(q *Queue, n int) {
 	}
 }
 
+func TestQueueContestedThreshold(t *testing.T) {
+	q := NewQueue(8)
+	fillQueue(q, 3)
+	if q.Contested() {
+		t.Errorf("queue contested at %d/%d occupancy", q.Len(), q.Cap())
+	}
+	fillQueue(q, 1)
+	if !q.Contested() {
+		t.Errorf("queue not contested at %d/%d occupancy", q.Len(), q.Cap())
+	}
+	// Draining back below half clears the pressure signal.
+	q.Pop()
+	if q.Contested() {
+		t.Errorf("queue still contested at %d/%d after drain", q.Len(), q.Cap())
+	}
+	// An odd capacity rounds the threshold up: 3 of 5 is contested, 2 is not.
+	odd := NewQueue(5)
+	fillQueue(odd, 2)
+	if odd.Contested() {
+		t.Error("5-entry queue contested at 2")
+	}
+	fillQueue(odd, 1)
+	if !odd.Contested() {
+		t.Error("5-entry queue not contested at 3")
+	}
+}
+
 func TestQueueFIFOAndWraparound(t *testing.T) {
 	q := NewQueue(4)
 	fillQueue(q, 4)

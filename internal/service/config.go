@@ -23,6 +23,10 @@ type ConfigSpec struct {
 	Context bool `json:"context,omitempty"`
 	// CriticalOnly restricts injection to criticality-flagged loads.
 	CriticalOnly bool `json:"critical_only,omitempty"`
+	// CLP enables the cache-level-predicted RFP arming schedule
+	// (docs/predictors.md): predicted-DRAM loads are skipped, predicted
+	// near hits arm early, and criticality gates contested queue slots.
+	CLP bool `json:"clp,omitempty"`
 	// ConfidenceBits overrides the confidence counter width (1-4).
 	ConfidenceBits int `json:"confidence_bits,omitempty"`
 	// PTEntries overrides the Prefetch Table size.
@@ -64,6 +68,7 @@ func (s ConfigSpec) Build() (config.Core, error) {
 		cfg.RFP.UsePAT = s.PAT
 		cfg.RFP.UseContext = s.Context
 		cfg.RFP.CriticalOnly = s.CriticalOnly
+		cfg.RFP.UseCLP = s.CLP
 		if s.ConfidenceBits != 0 {
 			cfg.RFP.ConfidenceBits = s.ConfidenceBits
 		}
@@ -71,7 +76,7 @@ func (s ConfigSpec) Build() (config.Core, error) {
 			cfg.RFP.PTEntries = s.PTEntries
 		}
 		cfg.RFPDedicatedPorts = s.DedicatedPorts
-	} else if s.PAT || s.Context || s.CriticalOnly || s.ConfidenceBits != 0 || s.PTEntries != 0 || s.DedicatedPorts != 0 {
+	} else if s.PAT || s.Context || s.CriticalOnly || s.CLP || s.ConfidenceBits != 0 || s.PTEntries != 0 || s.DedicatedPorts != 0 {
 		return config.Core{}, fmt.Errorf("service: RFP knobs set but rfp is false")
 	}
 	switch s.VP {

@@ -32,6 +32,11 @@ type Metrics struct {
 	l1pfIssued atomic.Uint64 // L1 hardware prefetches issued across all jobs
 	l1pfUseful atomic.Uint64 // L1 hardware prefetches consumed by demand
 
+	clpPredicted   atomic.Uint64 // confident cache-level predictions across all jobs
+	clpCorrect     atomic.Uint64 // predictions matching the actual serving level
+	clpSkippedDRAM atomic.Uint64 // RFP injections suppressed on a predicted DRAM hit
+	clpEarlyArmed  atomic.Uint64 // prefetches armed early on a predicted near hit
+
 	checkViolations atomic.Uint64 // invariant violations across checked jobs
 }
 
@@ -63,6 +68,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	obs.Counter(w, "rfpsimd_sim_cycles_total", "Simulated core cycles across all jobs.", m.simCycles.Load())
 	obs.Counter(w, "rfpsimd_l1pf_issued_total", "L1 hardware prefetches issued across all jobs (docs/prefetchers.md).", m.l1pfIssued.Load())
 	obs.Counter(w, "rfpsimd_l1pf_useful_total", "L1 hardware prefetches consumed by a demand access across all jobs.", m.l1pfUseful.Load())
+	obs.Counter(w, "rfpsimd_clp_predicted_total", "Confident cache-level predictions across all jobs (docs/predictors.md).", m.clpPredicted.Load())
+	obs.Counter(w, "rfpsimd_clp_correct_total", "Cache-level predictions matching the actual serving level.", m.clpCorrect.Load())
+	obs.Counter(w, "rfpsimd_clp_skipped_dram_total", "RFP injections suppressed because CLP predicted a DRAM access.", m.clpSkippedDRAM.Load())
+	obs.Counter(w, "rfpsimd_clp_early_armed_total", "RFP prefetches armed early on a CLP-predicted near hit.", m.clpEarlyArmed.Load())
 	obs.Counter(w, "rfpsim_check_violations_total", "Runtime invariant violations across jobs run with the checker enabled (docs/checking.md).", m.checkViolations.Load())
 	obs.Gauge(w, "rfpsimd_sim_cycles_per_second", "Simulated cycles per wall-clock second of worker busy time.", cyclesPerSec)
 

@@ -40,6 +40,13 @@ func Accumulate(dst, src *Sim) {
 	dst.L1PF.ManagerEpochs += src.L1PF.ManagerEpochs
 	dst.L1PF.ManagerSwitches += src.L1PF.ManagerSwitches
 	dst.L1PF.ManagerThrottledEpochs += src.L1PF.ManagerThrottledEpochs
+	for l := range dst.CLP.Predicted {
+		dst.CLP.Predicted[l] += src.CLP.Predicted[l]
+		dst.CLP.Correct[l] += src.CLP.Correct[l]
+	}
+	dst.CLP.SkippedDRAM += src.CLP.SkippedDRAM
+	dst.CLP.EarlyArmed += src.CLP.EarlyArmed
+	dst.CLP.CritGated += src.CLP.CritGated
 	dst.VP.Predicted += src.VP.Predicted
 	dst.VP.Correct += src.VP.Correct
 	dst.VP.Mispredicted += src.VP.Mispredicted

@@ -49,6 +49,9 @@ type Sim struct {
 	// L1PF is the L1 hardware-prefetcher counter block (the prefetcher
 	// zoo: stream/spp/sisb/managed).
 	L1PF L1PFStats
+	// CLP is the cache-level-predictor counter block (the RFP arming
+	// extension; see docs/predictors.md).
+	CLP CLPStats
 	// VP is the value-prediction counter block (Figure 15).
 	VP VPStats
 	// AP is the address-prediction (DLVP) counter block (Figure 16).
@@ -223,6 +226,47 @@ type L1PFStats struct {
 	ManagerThrottledEpochs uint64
 }
 
+// CLPStats counts cache-level-prediction outcomes and the RFP schedule
+// decisions taken on them. Coverage is sum(Predicted)/Loads, accuracy is
+// sum(Correct)/sum(Predicted); the per-level split shows where the
+// predictor earns its keep (L1 predictions dominate and are the easiest).
+type CLPStats struct {
+	// Predicted[l] counts committed loads confidently predicted to be
+	// served by hierarchy level l at dispatch.
+	Predicted [NumLevels]uint64
+	// Correct[l] counts the subset of Predicted[l] actually served by l.
+	Correct [NumLevels]uint64
+	// SkippedDRAM counts otherwise-eligible prefetches suppressed because
+	// the load was predicted to go to DRAM (the prefetch cannot arrive in
+	// time, so the queue slot and L1 port are saved).
+	SkippedDRAM uint64
+	// EarlyArmed counts executed prefetches whose RFP-inflight bit was
+	// armed one cycle early on a predicted-L1/L2 hit.
+	EarlyArmed uint64
+	// CritGated counts otherwise-eligible prefetches suppressed by the
+	// criticality gate while the prefetch queue was contested (half full
+	// or more): only commit-stalling loads may claim the remaining slots.
+	CritGated uint64
+}
+
+// PredictedTotal returns predictions summed across hierarchy levels.
+func (c *CLPStats) PredictedTotal() uint64 {
+	var t uint64
+	for _, v := range c.Predicted {
+		t += v
+	}
+	return t
+}
+
+// CorrectTotal returns correct predictions summed across hierarchy levels.
+func (c *CLPStats) CorrectTotal() uint64 {
+	var t uint64
+	for _, v := range c.Correct {
+		t += v
+	}
+	return t
+}
+
 // VPStats counts value-prediction outcomes.
 type VPStats struct {
 	// Predicted counts loads whose value was predicted and consumed.
@@ -314,6 +358,17 @@ func (s *Sim) L1PFCoverage() float64 { return frac(s.L1PF.Useful, s.Loads) }
 // L1PFAccuracy returns the fraction of issued L1 prefetches that were
 // consumed.
 func (s *Sim) L1PFAccuracy() float64 { return frac(s.L1PF.Useful, s.L1PF.Issued) }
+
+// CLPCoverage returns the fraction of loads with a confident cache-level
+// prediction.
+func (s *Sim) CLPCoverage() float64 { return frac(s.CLP.PredictedTotal(), s.Loads) }
+
+// CLPAccuracy returns the fraction of confident cache-level predictions
+// that named the actual serving level.
+func (s *Sim) CLPAccuracy() float64 { return frac(s.CLP.CorrectTotal(), s.CLP.PredictedTotal()) }
+
+// CLPLevelAccuracy returns the prediction accuracy for hierarchy level l.
+func (s *Sim) CLPLevelAccuracy(l int) float64 { return frac(s.CLP.Correct[l], s.CLP.Predicted[l]) }
 
 // VPCoverage returns the fraction of loads that were value predicted.
 func (s *Sim) VPCoverage() float64 { return frac(s.VP.Predicted, s.Loads) }

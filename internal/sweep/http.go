@@ -233,7 +233,10 @@ func sleep(ctx context.Context, d time.Duration) error {
 // errPermanent marks responses that retrying cannot fix (4xx validation).
 type errPermanent struct{ err error }
 
+// Error returns the wrapped error's message.
 func (e errPermanent) Error() string { return e.err.Error() }
+
+// Unwrap exposes the wrapped error to errors.Is/As.
 func (e errPermanent) Unwrap() error { return e.err }
 
 // Run implements Backend: round-robin over healthy endpoints, retrying
