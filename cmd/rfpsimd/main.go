@@ -20,6 +20,10 @@
 // -cache-dir enables the persistent disk result cache (survives
 // restarts); -peers/-self enable peer cache fill over a consistent-hash
 // ring. See docs/fabric.md.
+//
+// The daemon also serves an embedded browser console at /console/ —
+// submit jobs, upload traces, watch queue and cache state live, render
+// pipeline-trace diagrams. See docs/console.md.
 package main
 
 import (
@@ -34,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"rfpsim/internal/console"
 	"rfpsim/internal/fabric"
 	"rfpsim/internal/obs"
 	"rfpsim/internal/service"
@@ -113,6 +118,7 @@ func main() {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/", svc.Handler())
+	console.Mount(mux, svc, console.Options{Logger: logger})
 	if *pprofOn {
 		obs.RegisterPprof(mux)
 	}

@@ -13,6 +13,13 @@
 //	         [-parallel N] [-retries N] [-progress 5s] [-metrics] [-dry-run]
 //	         [-timings timings.csv] [-metrics-addr :9090]
 //	         [-log-format text|json] [-log-level info]
+//	         [-traces a.rfpt,b.rfpt]
+//
+// -traces registers .rfpt files (made with cmd/tracegen, including
+// -from-champsim conversions) so the spec's workloads list can reference
+// them as "trace:<sha256>": in-process sweeps read them from a local
+// store, fleet sweeps upload them to every endpoint via POST /v1/traces
+// first. See docs/traces.md.
 //
 // -timings writes a per-unit, per-stage wall-time CSV next to the (still
 // byte-deterministic) aggregate CSV; -metrics-addr serves the sweep's live
@@ -27,7 +34,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +49,7 @@ import (
 	"time"
 
 	"rfpsim/internal/obs"
+	"rfpsim/internal/service"
 	"rfpsim/internal/sweep"
 )
 
@@ -61,6 +71,7 @@ func main() {
 		dryRun      = flag.Bool("dry-run", false, "expand and print the unit grid without running it")
 		hedge       = flag.Bool("hedge", false, "race a speculative duplicate attempt on a second endpoint once a unit exceeds the observed p95 latency")
 		hedgeMin    = flag.Duration("hedge-min", 0, "floor on the hedge trigger delay (0 = 250ms)")
+		tracesFlag  = flag.String("traces", "", "comma-separated .rfpt files to register before the sweep, enabling trace:<sha256> workload entries (loaded into the in-process store, or uploaded to every -endpoints daemon)")
 	)
 	flag.Parse()
 	if *specPath == "" {
@@ -118,6 +129,9 @@ func main() {
 		for i := range urls {
 			urls[i] = strings.TrimSuffix(strings.TrimSpace(urls[i]), "/")
 		}
+		if err := registerTraces(*tracesFlag, urls, nil, logger); err != nil {
+			fatal(err)
+		}
 		backend, err = sweep.NewHTTPBackend(urls, sweep.HTTPBackendOptions{
 			MaxAttempts:   *retries,
 			Metrics:       m,
@@ -128,7 +142,11 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		backend = sweep.LocalBackend{Metrics: m}
+		store := service.NewTraceStore(0, 0, nil)
+		if err := registerTraces(*tracesFlag, nil, store, logger); err != nil {
+			fatal(err)
+		}
+		backend = sweep.LocalBackend{Metrics: m, Traces: store}
 	}
 
 	opts := sweep.Options{
@@ -266,6 +284,50 @@ func runCheckDiff(spec *sweep.Spec, outPath string, parallel int, dryRun, progre
 	if !sum.Clean() {
 		fatal(fmt.Errorf("check_diff found divergence or invariant violations (see output above)"))
 	}
+}
+
+// registerTraces makes the listed .rfpt files resolvable as
+// "trace:<sha256>" workload entries: into the local store for in-process
+// sweeps, or via POST /v1/traces to every endpoint for fleet sweeps (each
+// daemon validates and content-addresses the bytes itself, so a re-upload
+// of already-known bytes is a free dedup). The logged addresses are what
+// the spec's workloads list should reference.
+func registerTraces(list string, urls []string, store *service.TraceStore, logger *slog.Logger) error {
+	if list == "" {
+		return nil
+	}
+	for _, path := range strings.Split(list, ",") {
+		path = strings.TrimSpace(path)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if store != nil {
+			info, dedup, err := store.Add(raw)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			logger.Info("trace registered", "file", path, "workload", info.Workload, "uops", info.Uops, "dedup", dedup)
+			continue
+		}
+		for _, u := range urls {
+			resp, err := http.Post(u+"/v1/traces", "application/octet-stream", bytes.NewReader(raw))
+			if err != nil {
+				return fmt.Errorf("uploading %s to %s: %w", path, u, err)
+			}
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("uploading %s to %s: %s: %s", path, u, resp.Status, strings.TrimSpace(string(body)))
+			}
+			var up service.TraceUploadResponse
+			if err := json.Unmarshal(body, &up); err != nil {
+				return fmt.Errorf("uploading %s to %s: bad response: %w", path, u, err)
+			}
+			logger.Info("trace uploaded", "file", path, "endpoint", u, "workload", up.Workload, "uops", up.Uops, "dedup", up.Dedup)
+		}
+	}
+	return nil
 }
 
 // writeTimings dumps the per-unit stage breakdown collected during this

@@ -1,0 +1,71 @@
+package champsim_test
+
+import (
+	"bytes"
+	"testing"
+
+	"rfpsim/internal/champsim"
+	"rfpsim/internal/isa"
+)
+
+// FuzzChampSimDecode drives arbitrary bytes through the record decoder
+// and the uop converter and checks the structural invariants: a stream
+// that is a whole number of records decodes cleanly to exactly len/64
+// records, anything ending mid-record errors, every emitted memory uop
+// carries a nonzero address, and the uop count is bounded by the cracking
+// fan-out (at most 7 uops per 64-byte record). The committed corpus under
+// testdata/fuzz/ covers truncated records, bad lengths and compression
+// magic bytes (xz/gzip garbage must be rejected or decoded, never
+// misparsed as records).
+func FuzzChampSimDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 30))                                    // truncated record
+	f.Add(make([]byte, champsim.RecordBytes+1))                // bad length
+	f.Add([]byte{0xfd, '7', 'z', 'X', 'Z', 0x00, 0xde, 0xad})  // xz garbage
+	f.Add([]byte{0x1f, 0x8b, 0x08, 0x00, 0x00, 0x00, 0x00, 1}) // gzip garbage
+	valid := make([]byte, 2*champsim.RecordBytes)
+	champsim.EncodeRecord(&champsim.Record{
+		IP: 0x400000, DstRegs: [2]uint8{3}, SrcRegs: [4]uint8{5}, SrcMem: [4]uint64{0x1000},
+	}, valid[:champsim.RecordBytes])
+	champsim.EncodeRecord(&champsim.Record{
+		IP: 0x400004, IsBranch: true, Taken: true,
+	}, valid[champsim.RecordBytes:])
+	f.Add(valid)
+	f.Add(valid[:champsim.RecordBytes+7]) // valid record + truncated tail
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := champsim.NewDecoder(bytes.NewReader(data))
+		conv := champsim.NewConverter(dec, "fuzz")
+		var op isa.MicroOp
+		var uops uint64
+		maxUops := 7 * uint64(len(data)/champsim.RecordBytes)
+		for conv.Next(&op) {
+			uops++
+			if uops > maxUops {
+				t.Fatalf("emitted %d uops from %d whole records", uops, len(data)/champsim.RecordBytes)
+			}
+			if (op.Class == isa.OpLoad || op.Class == isa.OpStore) && op.Addr == 0 {
+				t.Fatalf("memory uop with zero address: %+v", op)
+			}
+			if op.Seq != uops-1 {
+				t.Fatalf("non-monotonic Seq %d at uop %d", op.Seq, uops-1)
+			}
+		}
+		whole := uint64(len(data) / champsim.RecordBytes)
+		if len(data)%champsim.RecordBytes == 0 {
+			if err := dec.Err(); err != nil {
+				t.Fatalf("whole-record stream errored: %v", err)
+			}
+			if dec.Records() != whole {
+				t.Fatalf("decoded %d records from %d", dec.Records(), whole)
+			}
+		} else {
+			if err := dec.Err(); err == nil {
+				t.Fatal("mid-record stream did not error")
+			}
+			if dec.Records() != whole {
+				t.Fatalf("decoded %d records before the truncation, want %d", dec.Records(), whole)
+			}
+		}
+	})
+}

@@ -49,8 +49,8 @@ type Differential struct {
 	Spec trace.Spec
 	// NewGen, when set, overrides Spec.New as the uop source. It must
 	// return a fresh generator producing an identical stream on every
-	// call (each side consumes its own). Incompatible with
-	// VariantSampling, which re-instantiates catalog generators.
+	// call (each side consumes its own; a sampled variant additionally
+	// re-instantiates it per profiling and replay pass).
 	NewGen func() isa.Generator
 	// Uops is the compared window length (default DefaultUops).
 	Uops uint64
@@ -125,10 +125,6 @@ func (d Differential) Run(ctx context.Context) (*Result, error) {
 	if il == 0 {
 		il = DefaultIntervalUops
 	}
-	if d.VariantSampling != nil && d.NewGen != nil {
-		return nil, fmt.Errorf("check: %s: sampled comparison needs a re-instantiable catalog workload, not a generator factory", d.Spec.Name)
-	}
-
 	base, err := d.runSide(ctx, d.Base, d.BaseFaults, nil, uops, il)
 	if err != nil {
 		return nil, fmt.Errorf("check: %s base (%s): %w", d.Spec.Name, d.Base.Name, err)
@@ -164,7 +160,10 @@ func (d Differential) runSide(ctx context.Context, cfg config.Core, faults []str
 		Seeds:       1,
 	}
 	if d.NewGen != nil {
-		job.Gen = d.NewGen()
+		// The factory form works on both sides: the full run draws one
+		// fresh generator, a sampled variant re-instantiates the stream
+		// per profiling/replay pass (runner.Job.NewGen).
+		job.NewGen = d.NewGen
 	}
 	segLimit := uops
 	if sampling != nil {

@@ -1,12 +1,15 @@
 package check
 
 import (
+	"bytes"
 	"context"
 	"testing"
 
 	"rfpsim/internal/config"
+	"rfpsim/internal/isa"
 	"rfpsim/internal/runner"
 	"rfpsim/internal/trace"
+	"rfpsim/internal/tracefile"
 )
 
 // mustSpec fetches a catalog workload or fails the test.
@@ -84,6 +87,55 @@ func TestDifferentialSampledVsFull(t *testing.T) {
 		Base: base, Variant: variant,
 		Spec: mustSpec(t, "spec06_libquantum"),
 		Uops: 10000,
+		VariantSampling: &runner.Sampling{
+			IntervalUops: 1000, MaxK: 3,
+		},
+	})
+}
+
+// TestDifferentialSampledTraceFactory pins that a sampled variant works
+// on a NewGen factory — the rfpsim -diff full -trace path. The factory
+// round-trips a catalog stream through the tracefile container, the
+// same shape the service builds for uploaded traces.
+func TestDifferentialSampledTraceFactory(t *testing.T) {
+	t.Parallel()
+	spec := mustSpec(t, "spec06_mcf")
+	var buf bytes.Buffer
+	w := tracefile.NewWriter(&buf)
+	gen := spec.New()
+	var op isa.MicroOp
+	for i := 0; i < 12000; i++ {
+		if !gen.Next(&op) {
+			t.Fatalf("catalog generator ended at uop %d", i)
+		}
+		if err := w.Write(&op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	variant := config.Baseline().WithRFP()
+	base, sampled, err := BaseFor("full", variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sampled {
+		t.Fatal("mode full should request a sampled variant")
+	}
+	requireClean(t, Differential{
+		Base: base, Variant: variant,
+		Spec: trace.Spec{Name: "trace-factory", Category: "trace-file"},
+		NewGen: func() isa.Generator {
+			r, err := tracefile.NewReader(bytes.NewReader(raw), "trace-factory")
+			if err != nil {
+				panic(err)
+			}
+			return r
+		},
+		Uops: 6000,
 		VariantSampling: &runner.Sampling{
 			IntervalUops: 1000, MaxK: 3,
 		},

@@ -1,0 +1,170 @@
+// Package console is rfpsimd's embedded browser UI: a self-contained,
+// dependency-free operator console served from the daemon's own process
+// under /console/. It submits catalog or uploaded-trace jobs through the
+// exact tier walk a POST /v1/sim runs (service.Server.Do), watches queue
+// depth, tenant queues and cache/fabric hit ratios live off the same
+// counters /metrics exposes (service.Status), downloads per-job and
+// aggregate CSVs in the byte-pinned sweep schema, and renders bounded
+// pipeline-trace windows as per-cycle diagrams.
+//
+// Everything the browser loads — HTML, JS, CSS — is compiled into the
+// binary with go:embed; the console works on an air-gapped machine and
+// never fetches an external asset. The JSON API under /console/api/ is
+// what the embedded app consumes; it is exercised end to end (upload →
+// simulate → poll → CSV download) by the package tests and the CI
+// console-smoke job. See docs/console.md.
+package console
+
+import (
+	"embed"
+	"encoding/json"
+	"io/fs"
+	"log/slog"
+	"net/http"
+	"sync"
+
+	"rfpsim/internal/service"
+	"rfpsim/internal/trace"
+)
+
+//go:embed static
+var staticFS embed.FS
+
+// Console serves the UI and its JSON API on top of a service.Server. It
+// keeps its own bounded in-memory job log (the daemon's result cache
+// stores bodies by content address; the console additionally remembers
+// which jobs THIS UI submitted, in order, with their outcome).
+type Console struct {
+	svc    *service.Server
+	logger *slog.Logger
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // submission order, oldest first
+	maxJobs int
+}
+
+// Options configures New.
+type Options struct {
+	// Logger receives console events (nil = slog.Default()).
+	Logger *slog.Logger
+	// MaxJobs bounds the in-memory job log; the oldest finished jobs are
+	// dropped past it (0 = 256).
+	MaxJobs int
+}
+
+// New builds a console over svc.
+func New(svc *service.Server, opts Options) *Console {
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	maxJobs := opts.MaxJobs
+	if maxJobs <= 0 {
+		maxJobs = 256
+	}
+	return &Console{
+		svc:     svc,
+		logger:  logger,
+		jobs:    make(map[string]*job),
+		maxJobs: maxJobs,
+	}
+}
+
+// Handler returns the console's HTTP handler. Mount it at /console/ (the
+// routes are absolute, matching what the embedded app requests).
+func (c *Console) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/console", c.handleIndex)
+	mux.HandleFunc("/console/", c.handleIndex)
+	static, err := fs.Sub(staticFS, "static")
+	if err != nil {
+		// The subtree is embedded at compile time; failure here is a
+		// build defect, not a runtime condition.
+		panic("console: embedded static tree missing: " + err.Error())
+	}
+	mux.Handle("/console/static/", http.StripPrefix("/console/static/", http.FileServerFS(static)))
+	mux.HandleFunc("/console/api/status", c.handleStatus)
+	mux.HandleFunc("/console/api/workloads", c.handleWorkloads)
+	mux.HandleFunc("/console/api/jobs", c.handleJobs)
+	mux.HandleFunc("/console/api/jobs/", c.handleJobByID)
+	mux.HandleFunc("/console/api/csv", c.handleAggregateCSV)
+	mux.HandleFunc("/console/api/pipetrace", c.handlePipeTrace)
+	return mux
+}
+
+// handleIndex serves the embedded single-page app.
+func (c *Console) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/console" && r.URL.Path != "/console/" {
+		http.NotFound(w, r)
+		return
+	}
+	body, err := staticFS.ReadFile("static/index.html")
+	if err != nil {
+		http.Error(w, "console: embedded index missing", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(body)
+}
+
+// handleStatus serves the live operational snapshot the dashboard polls:
+// service.Status, verbatim — the console can never disagree with a
+// Prometheus dashboard scraped off the same daemon.
+func (c *Console) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, c.svc.Status())
+}
+
+// WorkloadEntry is one submittable workload in the picker: a catalog
+// entry, or an uploaded trace resolvable as "trace:<sha256>".
+type WorkloadEntry struct {
+	Name     string `json:"name"`
+	Category string `json:"category"`
+	// Uops is the decoded length for uploaded traces (0 for catalog
+	// entries, whose generators are endless).
+	Uops uint64 `json:"uops,omitempty"`
+}
+
+// handleWorkloads lists everything the submit form can run: the full
+// catalog in category order, then the trace store's working set.
+func (c *Console) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	entries := []WorkloadEntry{}
+	for _, sp := range trace.Catalog() {
+		entries = append(entries, WorkloadEntry{Name: sp.Name, Category: string(sp.Category)})
+	}
+	for _, ti := range c.svc.Traces().List() {
+		entries = append(entries, WorkloadEntry{Name: ti.Workload, Category: "trace-file", Uops: ti.Uops})
+	}
+	writeJSON(w, entries)
+}
+
+// writeJSON renders v as the response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError renders the console API's error shape, mirroring the
+// daemon's structured JSON errors.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"status": "error", "error": msg})
+}
+
+// Mount registers the console on mux (rfpsimd calls this; tests drive
+// Handler directly).
+func Mount(mux *http.ServeMux, svc *service.Server, opts Options) *Console {
+	c := New(svc, opts)
+	mux.Handle("/console", c.Handler())
+	mux.Handle("/console/", c.Handler())
+	return c
+}

@@ -1,0 +1,175 @@
+package console
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"rfpsim/internal/core"
+	"rfpsim/internal/obs"
+	"rfpsim/internal/sample"
+	"rfpsim/internal/service"
+)
+
+// pipeTraceMaxCycles bounds the traced window: the endpoint exists to
+// inspect a few hundred cycles around a point of interest, not to stream
+// a whole run into the browser.
+const pipeTraceMaxCycles = 2048
+
+// pipeTraceMaxEvents bounds the parsed event list (a pathological window
+// can emit several events per uop per cycle).
+const pipeTraceMaxEvents = 20000
+
+// PipeTraceRequest asks for a bounded pipeline-event window: the workload
+// (catalog name or "trace:<sha256>" reference), the configuration, and
+// how many cycles to trace after warmup.
+type PipeTraceRequest struct {
+	Workload   string             `json:"workload"`
+	Config     service.ConfigSpec `json:"config"`
+	WarmupUops uint64             `json:"warmup_uops,omitempty"`
+	// Cycles is the traced window length (default 256, cap 2048).
+	Cycles uint64 `json:"cycles,omitempty"`
+}
+
+// PipeTraceEvent is one parsed pipeline event. Event is the stage
+// ("dispatch", "issue", "commit", "rfp-exec", ...); Kind is the uop class
+// when the line carries one; Detail keeps the remaining key=value pairs
+// verbatim (addr=…, fill=…, done=…).
+type PipeTraceEvent struct {
+	Cycle  uint64 `json:"cycle"`
+	Event  string `json:"event"`
+	Seq    uint64 `json:"seq,omitempty"`
+	PC     string `json:"pc,omitempty"`
+	Kind   string `json:"kind,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// PipeTraceResponse is the traced window plus the run summary of the
+// bounded simulation that produced it.
+type PipeTraceResponse struct {
+	Workload  string           `json:"workload"`
+	Config    string           `json:"config"`
+	FromCycle uint64           `json:"from_cycle"`
+	ToCycle   uint64           `json:"to_cycle"`
+	Events    []PipeTraceEvent `json:"events"`
+	// Truncated reports that the event cap cut the window short.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// handlePipeTrace runs a small in-process simulation with pipeline
+// tracing attached for a bounded cycle window and returns the events
+// parsed into JSON. The run bypasses the worker pool deliberately: it is
+// interactive, tiny (tens of thousands of uops), and its wall time is
+// bounded by the uop cap, so queueing it behind batch jobs would make
+// the diagram view useless on a busy daemon.
+func (c *Console) handlePipeTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req PipeTraceRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	cycles := req.Cycles
+	if cycles == 0 {
+		cycles = 256
+	}
+	if cycles > pipeTraceMaxCycles {
+		cycles = pipeTraceMaxCycles
+	}
+
+	// Resolve through the shared path so trace references, config
+	// validation and defaulting behave exactly like a job submission. The
+	// measure window only needs to outlast the traced cycle window: at
+	// the core's commit width W the window can retire at most W*cycles
+	// uops, so 8x is a safe margin without being slow.
+	simReq := service.SimRequest{
+		Workload:    req.Workload,
+		Config:      req.Config,
+		WarmupUops:  req.WarmupUops,
+		MeasureUops: 8 * cycles,
+	}
+	if simReq.WarmupUops == 0 {
+		simReq.WarmupUops = 2000
+	}
+	job, _, err := service.ResolveJobWith(simReq, c.svc.Traces())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	var buf bytes.Buffer
+	var from, to uint64
+	job.AfterWarmup = func(cr *core.Core) {
+		from, to = cr.Cycle(), cr.Cycle()+cycles
+		cr.AttachPipeTrace(&buf, from, to)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+	defer cancel()
+	ctx = obs.WithLogger(obs.WithRunID(ctx, obs.NewRunID()), c.logger)
+	if _, err := sample.RunResult(ctx, job); err != nil {
+		writeError(w, http.StatusBadRequest, "pipetrace run failed: "+err.Error())
+		return
+	}
+
+	events, truncated := parsePipeTrace(buf.String())
+	writeJSON(w, PipeTraceResponse{
+		Workload:  job.Spec.Name,
+		Config:    job.Config.Name,
+		FromCycle: from,
+		ToCycle:   to,
+		Events:    events,
+		Truncated: truncated,
+	})
+}
+
+// parsePipeTrace converts the human-readable event lines (format pinned
+// by core's TestPipeTraceGolden) into structured events. Unknown tokens
+// land in Detail instead of failing: the diagram degrades gracefully if
+// the core grows a new event field.
+func parsePipeTrace(s string) (events []PipeTraceEvent, truncated bool) {
+	events = []PipeTraceEvent{}
+	for _, line := range strings.Split(s, "\n") {
+		f := strings.Fields(line)
+		if len(f) < 3 || f[0] != "cycle" {
+			continue
+		}
+		if len(events) >= pipeTraceMaxEvents {
+			return events, true
+		}
+		cyc, err := strconv.ParseUint(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		ev := PipeTraceEvent{Cycle: cyc, Event: f[2]}
+		var detail []string
+		for _, tok := range f[3:] {
+			key, val, isKV := strings.Cut(tok, "=")
+			switch {
+			case isKV && key == "seq":
+				if n, err := strconv.ParseUint(val, 10, 64); err == nil {
+					ev.Seq = n
+					continue
+				}
+			case isKV && key == "pc":
+				ev.PC = val
+				continue
+			case !isKV && ev.Kind == "":
+				ev.Kind = tok
+				continue
+			}
+			detail = append(detail, tok)
+		}
+		ev.Detail = strings.Join(detail, " ")
+		events = append(events, ev)
+	}
+	return events, false
+}

@@ -60,6 +60,46 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	obs.Counter(w, "rfpsimd_fabric_inflight_served_total", "Peer result GETs served by waiting on an in-flight computation.", m.servedInflight.Load())
 }
 
+// Snapshot is a point-in-time copy of the fabric's tier state, for
+// embedders that render live fabric health (the rfpsimd console's status
+// endpoint) without scraping the Prometheus exposition.
+type Snapshot struct {
+	// RingPeers is the consistent-hash ring membership count.
+	RingPeers int `json:"ring_peers"`
+	// DiskEntries and DiskBytes are the persistent tier's occupancy.
+	DiskEntries int   `json:"disk_entries"`
+	DiskBytes   int64 `json:"disk_bytes"`
+	// DiskHits and DiskMisses are the persistent tier's lookup counters.
+	DiskHits   uint64 `json:"disk_hits"`
+	DiskMisses uint64 `json:"disk_misses"`
+	// PeerHits, PeerMisses and PeerErrors are the owner-lookup counters.
+	PeerHits   uint64 `json:"peer_hits"`
+	PeerMisses uint64 `json:"peer_misses"`
+	PeerErrors uint64 `json:"peer_errors"`
+	// Pushes counts locally computed results written back to their owner.
+	Pushes uint64 `json:"pushes"`
+}
+
+// Snapshot captures the current tier state.
+func (m *Metrics) Snapshot() Snapshot {
+	snap := Snapshot{
+		PeerHits:   m.peerHits.Load(),
+		PeerMisses: m.peerMisses.Load(),
+		PeerErrors: m.peerErrors.Load(),
+		Pushes:     m.pushes.Load(),
+	}
+	if m.f != nil {
+		snap.RingPeers = m.f.ring.Len()
+		if d := m.f.disk; d != nil {
+			snap.DiskEntries = d.Len()
+			snap.DiskBytes = d.Bytes()
+			snap.DiskHits = d.hits.Load()
+			snap.DiskMisses = d.misses.Load()
+		}
+	}
+	return snap
+}
+
 // PeerHits returns the peer-fill hit count (for tests and smoke checks).
 func (m *Metrics) PeerHits() uint64 { return m.peerHits.Load() }
 

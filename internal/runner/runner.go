@@ -41,6 +41,14 @@ type Job struct {
 	// trace-file path). Generator state is consumed by a run, so Gen
 	// requires Seeds <= 1.
 	Gen isa.Generator
+	// NewGen, when set, is a re-instantiable generator factory overriding
+	// Spec.New(): every call must return a fresh generator producing an
+	// identical uop stream (uploaded traces re-decoded from bytes). Unlike
+	// the one-shot Gen it survives multiple runs, so sampled execution
+	// (internal/sample) can profile the stream and then replay intervals.
+	// Seed perturbation is meaningless for a fixed stream, so NewGen still
+	// requires Seeds <= 1, and at most one of Gen/NewGen may be set.
+	NewGen func() isa.Generator
 	// FastForwardUops functionally consumes this many uops before the
 	// cycle-accurate warmup, training long-lived predictors and warming
 	// caches without simulating timing (core.FastForward). Sampled replay
@@ -131,8 +139,11 @@ func Run(ctx context.Context, job Job) (*stats.Sim, error) {
 	if job.Sampling != nil {
 		return nil, errors.New("runner: job requests sampled simulation; execute it with internal/sample.Run (runner.Run is the full-window path)")
 	}
-	if job.Gen != nil && job.seeds() > 1 {
+	if (job.Gen != nil || job.NewGen != nil) && job.seeds() > 1 {
 		return nil, errors.New("runner: a generator override supports a single seed only")
+	}
+	if job.Gen != nil && job.NewGen != nil {
+		return nil, errors.New("runner: Gen and NewGen are mutually exclusive generator overrides")
 	}
 	tim := obs.ContextTimings(ctx)
 	observe := func(stage string, since time.Time) {
@@ -145,6 +156,9 @@ func Run(ctx context.Context, job Job) (*stats.Sim, error) {
 		replica := job.Spec
 		replica.Seed = job.Spec.Seed + uint64(s)*SeedStride
 		gen := job.Gen
+		if gen == nil && job.NewGen != nil {
+			gen = job.NewGen()
+		}
 		if gen == nil {
 			gen = replica.New()
 		}

@@ -46,9 +46,10 @@ func Normalized(sp runner.Sampling) runner.Sampling {
 }
 
 // Validate rejects sampled jobs that cannot be executed: sampling needs a
-// re-instantiable catalog workload (the profiling pass and every replayed
-// interval instantiate fresh generators), a single seed, a sane interval
-// length and a positive representative budget.
+// re-instantiable uop source — a catalog workload or a NewGen factory —
+// because the profiling pass and every replayed interval instantiate
+// fresh generators; plus a single seed, a sane interval length and a
+// positive representative budget.
 func Validate(job runner.Job) error {
 	if job.Sampling == nil {
 		return nil
@@ -56,7 +57,7 @@ func Validate(job runner.Job) error {
 	sp := Normalized(*job.Sampling)
 	switch {
 	case job.Gen != nil:
-		return errors.New("sample: sampling needs a re-instantiable catalog workload, not a one-shot generator (trace upload)")
+		return errors.New("sample: sampling needs a re-instantiable uop source (a catalog workload or a NewGen factory), not a one-shot generator")
 	case job.Seeds > 1:
 		return fmt.Errorf("sample: sampling supports a single seed, got Seeds=%d", job.Seeds)
 	case job.Sampling.MaxK < 0:
@@ -114,7 +115,13 @@ func RunResult(ctx context.Context, job runner.Job) (Result, error) {
 	// adds that a full run never pays.
 	tim := obs.ContextTimings(ctx)
 	begin := time.Now()
-	profile, err := ProfileSpec(ctx, job.Spec, job.WarmupUops, job.MeasureUops, sp.IntervalUops)
+	var profile *Profile
+	var err error
+	if job.NewGen != nil {
+		profile, err = ProfileGenerator(ctx, job.NewGen(), job.Spec.Name, job.WarmupUops, job.MeasureUops, sp.IntervalUops)
+	} else {
+		profile, err = ProfileSpec(ctx, job.Spec, job.WarmupUops, job.MeasureUops, sp.IntervalUops)
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -162,6 +169,7 @@ func replayPoint(ctx context.Context, job runner.Job, sp runner.Sampling, pt Poi
 	sub := runner.Job{
 		Config:          job.Config,
 		Spec:            job.Spec,
+		NewGen:          job.NewGen,
 		FastForwardUops: start - warm,
 		WarmupUops:      warm,
 		MeasureUops:     sp.IntervalUops,

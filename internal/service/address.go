@@ -8,7 +8,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 
+	"rfpsim/internal/fabric"
+	"rfpsim/internal/isa"
 	"rfpsim/internal/runner"
 	"rfpsim/internal/sample"
 	"rfpsim/internal/trace"
@@ -53,14 +56,30 @@ func resolveRequest(req SimRequest) (*resolvedJob, error) {
 
 	rj := &resolvedJob{req: req}
 	workloadKey := ""
-	if req.Workload != "" {
+	switch {
+	case req.Workload != "" && strings.HasPrefix(req.Workload, TraceWorkloadPrefix):
+		// A reference to a previously uploaded trace (POST /v1/traces).
+		// The key is identical to an inline trace_b64 upload of the same
+		// bytes — the address IS the content digest — so the two
+		// submission paths share cache entries by construction.
+		addr := strings.TrimPrefix(req.Workload, TraceWorkloadPrefix)
+		if !fabric.ValidAddr(addr) {
+			return nil, fmt.Errorf("malformed trace address %q (want the 64-hex sha256 from POST /v1/traces)", addr)
+		}
+		if req.Seeds > 1 {
+			return nil, errors.New("seed replication requires a catalog workload, not an uploaded trace")
+		}
+		rj.traceAddr = addr
+		rj.job.Spec = trace.Spec{Name: TraceWorkloadPrefix + addr[:16], Category: "trace-file"}
+		workloadKey = TraceWorkloadPrefix + addr
+	case req.Workload != "":
 		spec, ok := trace.ByName(req.Workload)
 		if !ok {
 			return nil, fmt.Errorf("unknown workload %q (GET /v1/workloads lists the suite)", req.Workload)
 		}
 		rj.job.Spec = spec
 		workloadKey = fmt.Sprintf("workload:%s:seed:%d", spec.Name, spec.Seed)
-	} else {
+	default:
 		raw, err := base64.StdEncoding.DecodeString(req.TraceB64)
 		if err != nil {
 			return nil, fmt.Errorf("trace_b64 is not valid base64: %w", err)
@@ -68,10 +87,11 @@ func resolveRequest(req SimRequest) (*resolvedJob, error) {
 		if req.Seeds > 1 {
 			return nil, errors.New("seed replication requires a catalog workload, not an uploaded trace")
 		}
-		digest := sha256.Sum256(raw)
+		addr := TraceAddress(raw)
 		rj.traceRaw = raw
-		rj.job.Spec = trace.Spec{Name: "trace:" + hex.EncodeToString(digest[:8]), Category: "trace-file"}
-		workloadKey = "trace:" + hex.EncodeToString(digest[:])
+		rj.traceAddr = addr
+		rj.job.Spec = trace.Spec{Name: TraceWorkloadPrefix + addr[:16], Category: "trace-file"}
+		workloadKey = TraceWorkloadPrefix + addr
 	}
 	rj.job.Config = cfg
 	rj.job.WarmupUops = req.WarmupUops
@@ -80,14 +100,11 @@ func resolveRequest(req SimRequest) (*resolvedJob, error) {
 	rj.job.ColdCaches = req.ColdCaches
 	rj.job.Sampling = req.Sampling.toRunner()
 	if req.Sampling != nil {
+		// Trace-sourced jobs sample too: execution attaches a NewGen
+		// factory that re-decodes the stored bytes, which is exactly the
+		// re-instantiable stream sampling needs (internal/sample).
 		if err := sample.Validate(rj.job); err != nil {
 			return nil, err
-		}
-		if req.TraceB64 != "" {
-			// sample.Validate catches this once the generator is attached,
-			// but the resolver must reject it before keying: a trace
-			// upload cannot be re-instantiated for profiling and replay.
-			return nil, errors.New("sampling requires a catalog workload, not an uploaded trace")
 		}
 	}
 
@@ -120,21 +137,70 @@ func resolveRequest(req SimRequest) (*resolvedJob, error) {
 // runnable via sample.Run (which is runner.Run for full-window jobs);
 // callers outside the daemon (cmd/rfpsweep's local backend) therefore
 // execute the exact code path a POST /v1/sim would, producing
-// bit-identical statistics.
+// bit-identical statistics. Requests referencing an uploaded trace by
+// address ("trace:<sha256>") need a store to resolve the bytes — use
+// ResolveJobWith.
 func ResolveJob(req SimRequest) (runner.Job, string, error) {
+	return ResolveJobWith(req, nil)
+}
+
+// ResolveJobWith is ResolveJob with a trace store supplying the bytes
+// behind "trace:<sha256>" workload references (nil rejects such
+// references). The sweep local backend passes its store here so
+// trace-sourced sweep units run without a daemon.
+func ResolveJobWith(req SimRequest, traces *TraceStore) (runner.Job, string, error) {
 	rj, err := resolveRequest(req)
 	if err != nil {
 		return runner.Job{}, "", err
 	}
+	if err := rj.loadTrace(traces); err != nil {
+		return runner.Job{}, "", err
+	}
 	job := rj.job
 	if rj.traceRaw != nil {
-		r, err := tracefile.NewReader(bytes.NewReader(rj.traceRaw), job.Spec.Name)
-		if err != nil {
-			return runner.Job{}, "", fmt.Errorf("bad trace upload: %w", err)
+		if err := attachTraceGen(&job, rj.traceRaw); err != nil {
+			return runner.Job{}, "", err
 		}
-		job.Gen = r
 	}
 	return job, rj.key, nil
+}
+
+// loadTrace fills traceRaw for a by-reference trace workload from the
+// store (inline trace_b64 uploads already carry their bytes).
+func (rj *resolvedJob) loadTrace(traces *TraceStore) error {
+	if rj.traceRaw != nil || rj.traceAddr == "" {
+		return nil
+	}
+	if traces == nil {
+		return fmt.Errorf("unknown trace address %s (no trace store attached)", rj.traceAddr)
+	}
+	raw, _, ok := traces.Get(rj.traceAddr)
+	if !ok {
+		return fmt.Errorf("unknown trace address %s (upload the trace via POST /v1/traces first)", rj.traceAddr)
+	}
+	rj.traceRaw = raw
+	return nil
+}
+
+// attachTraceGen validates raw once and attaches a re-instantiable
+// generator factory: every call re-decodes the same bytes, so sampled
+// execution can profile the stream and then replay intervals, and seed
+// replicas are structurally impossible (the runner rejects NewGen with
+// Seeds > 1).
+func attachTraceGen(job *runner.Job, raw []byte) error {
+	name := job.Spec.Name
+	if _, err := tracefile.NewReader(bytes.NewReader(raw), name); err != nil {
+		return fmt.Errorf("bad trace upload: %w", err)
+	}
+	job.NewGen = func() isa.Generator {
+		r, err := tracefile.NewReader(bytes.NewReader(raw), name)
+		if err != nil {
+			// The header was validated above and the bytes are immutable.
+			panic("service: validated trace failed to reopen: " + err.Error())
+		}
+		return r
+	}
+	return nil
 }
 
 // ContentAddress returns the daemon's cache key for a request: the SHA-256

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"crypto/sha256"
+	"encoding/base64"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -214,7 +215,8 @@ func TestSampledContentAddress(t *testing.T) {
 }
 
 // TestSampledResolveRejections: the resolver refuses sampled requests it
-// could never execute, before any key is handed out.
+// could never execute, before any key is handed out — and accepts the
+// ones it can: sampled traces work now, through the NewGen factory.
 func TestSampledResolveRejections(t *testing.T) {
 	multi := SimRequest{
 		Workload: "spec06_mcf",
@@ -224,12 +226,59 @@ func TestSampledResolveRejections(t *testing.T) {
 	if _, _, err := ResolveJob(multi); err == nil {
 		t.Error("sampled request with Seeds=3 accepted")
 	}
-	upload := SimRequest{
-		TraceB64: "AAAA",
+	bogus := SimRequest{
+		TraceB64: "AAAA", // valid base64, not a valid trace
 		Sampling: &SamplingSpec{},
 	}
-	if _, _, err := ResolveJob(upload); err == nil {
-		t.Error("sampled trace upload accepted")
+	if _, _, err := ResolveJob(bogus); err == nil {
+		t.Error("sampled undecodable trace upload accepted")
+	}
+	sampled := SimRequest{
+		TraceB64: base64.StdEncoding.EncodeToString(validTraceBytes(t, "spec06_mcf", 8000)),
+		Sampling: &SamplingSpec{},
+	}
+	job, _, err := ResolveJob(sampled)
+	if err != nil {
+		t.Fatalf("sampled valid trace upload rejected: %v", err)
+	}
+	if job.NewGen == nil {
+		t.Error("sampled trace job has no re-instantiable generator factory")
+	}
+}
+
+// TestTraceAddressesDisjointFromCatalog pins the workload-key namespace
+// split: an uploaded trace's content address can never collide with ANY
+// catalog workload's address under the same configuration — the trace:
+// prefix keys on the byte digest, catalog entries key on name+seed — so a
+// malicious or accidental upload cannot poison a catalog cache entry.
+func TestTraceAddressesDisjointFromCatalog(t *testing.T) {
+	raw := validTraceBytes(t, "spec06_mcf", 8000)
+	cfg := ConfigSpec{RFP: true}
+	traceKey, err := ContentAddress(SimRequest{
+		TraceB64: base64.StdEncoding.EncodeToString(raw),
+		Config:   cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refKey, err := ContentAddress(SimRequest{
+		Workload: TraceWorkloadPrefix + TraceAddress(raw),
+		Config:   cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traceKey != refKey {
+		t.Errorf("inline and by-reference submissions of identical bytes key differently:\n%s\n%s", traceKey, refKey)
+	}
+	for _, spec := range trace.Catalog() {
+		catKey, err := ContentAddress(SimRequest{Workload: spec.Name, Config: cfg})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if catKey == traceKey {
+			t.Errorf("uploaded trace shares content address with catalog workload %s", spec.Name)
+		}
 	}
 }
 

@@ -26,6 +26,9 @@ type Metrics struct {
 	cacheEvictions atomic.Uint64 // counter: in-memory LRU evictions
 	fabricDedup    atomic.Uint64 // counter: requests coalesced onto an in-flight identical one
 
+	tracesUploaded atomic.Uint64 // counter: traces accepted by POST /v1/traces
+	traceRejects   atomic.Uint64 // counter: trace-sourced requests rejected (bad upload, unknown address)
+
 	simCycles    atomic.Uint64 // total simulated cycles across all jobs
 	simBusyNanos atomic.Uint64 // total wall time workers spent simulating
 
@@ -65,6 +68,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	obs.Counter(w, "rfpsimd_cache_misses_total", "Requests that had to simulate.", m.cacheMisses.Load())
 	obs.Counter(w, "rfpsimd_cache_evictions_total", "Entries evicted from the in-memory result cache (LRU, docs/fabric.md).", m.cacheEvictions.Load())
 	obs.Counter(w, "rfpsimd_fabric_dedup_total", "Requests coalesced onto a concurrent identical in-flight request.", m.fabricDedup.Load())
+	obs.Counter(w, "rfpsimd_traces_uploaded_total", "Traces accepted by POST /v1/traces (re-uploads of identical bytes included).", m.tracesUploaded.Load())
+	obs.Counter(w, "rfpsimd_trace_rejects_total", "Trace-sourced requests rejected: undecodable uploads and /v1/sim references to unknown trace addresses (docs/traces.md).", m.traceRejects.Load())
 	obs.Counter(w, "rfpsimd_sim_cycles_total", "Simulated core cycles across all jobs.", m.simCycles.Load())
 	obs.Counter(w, "rfpsimd_l1pf_issued_total", "L1 hardware prefetches issued across all jobs (docs/prefetchers.md).", m.l1pfIssued.Load())
 	obs.Counter(w, "rfpsimd_l1pf_useful_total", "L1 hardware prefetches consumed by a demand access across all jobs.", m.l1pfUseful.Load())

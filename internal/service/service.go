@@ -32,7 +32,6 @@ import (
 	"rfpsim/internal/sample"
 	"rfpsim/internal/stats"
 	"rfpsim/internal/trace"
-	"rfpsim/internal/tracefile"
 )
 
 // Response headers carrying per-request observability. They are headers,
@@ -101,6 +100,12 @@ type Options struct {
 	// (0 = QueueDepth): one tenant's burst 429s against its own bound
 	// while other tenants' queues stay open.
 	TenantQueueDepth int
+	// TraceCacheEntries and TraceCacheBytes bound the uploaded-trace
+	// store's in-memory working set (0 = 64 entries / 256 MiB). With a
+	// fabric disk tier configured, evicted and pre-restart traces keep
+	// resolving from disk (docs/traces.md).
+	TraceCacheEntries int
+	TraceCacheBytes   int64
 }
 
 func (o Options) workers() int {
@@ -150,9 +155,10 @@ type SimRequest struct {
 	// ColdCaches skips footprint-based cache warming.
 	ColdCaches bool `json:"cold_caches,omitempty"`
 	// Sampling requests SimPoint-style sampled simulation of the measured
-	// window (catalog workloads with a single seed only). Omitted fields
-	// take the documented defaults; the response echoes the normalized
-	// spec plus the replay plan summary.
+	// window (single seed only; catalog workloads and uploaded traces
+	// both work — trace jobs re-decode their bytes per pass). Omitted
+	// fields take the documented defaults; the response echoes the
+	// normalized spec plus the replay plan summary.
 	Sampling *SamplingSpec `json:"sampling,omitempty"`
 	// TimeoutMS cancels the job after this many milliseconds of wall time.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -261,10 +267,11 @@ type errorResponse struct {
 
 // resolvedJob is a validated request plus everything needed to execute it.
 type resolvedJob struct {
-	req      SimRequest
-	job      runner.Job
-	traceRaw []byte // decoded trace upload, nil for catalog workloads
-	key      string
+	req       SimRequest
+	job       runner.Job
+	traceRaw  []byte // decoded trace upload, nil until loadTrace for by-reference traces
+	traceAddr string // content address of a trace-sourced job, "" for catalog workloads
+	key       string
 }
 
 type jobResult struct {
@@ -293,6 +300,7 @@ type Server struct {
 	cache     *resultCache
 	fabric    *fabric.Fabric // nil when no fabric tier is configured
 	flights   fabric.FlightGroup
+	traces    *TraceStore
 	logger    *slog.Logger
 	registry  *obs.Registry
 	jobSecs   *obs.Histogram // wall-clock execution latency per job
@@ -340,6 +348,11 @@ func New(opts Options) (*Server, error) {
 		}
 		s.fabric = f
 	}
+	var traceTier TraceDiskTier
+	if s.fabric != nil {
+		traceTier = s.fabric
+	}
+	s.traces = NewTraceStore(opts.TraceCacheEntries, opts.TraceCacheBytes, traceTier)
 	registry.Register(s.metrics)
 	registry.Register(s.jobSecs)
 	registry.Register(s.queueWait)
@@ -446,13 +459,6 @@ func (s *Server) worker() {
 // CPUProfileDir is set, next to a job-<runid>.pprof capture).
 func (s *Server) execute(ctx context.Context, rj *resolvedJob) jobResult {
 	job := rj.job
-	if rj.traceRaw != nil {
-		r, err := tracefile.NewReader(bytes.NewReader(rj.traceRaw), job.Spec.Name)
-		if err != nil {
-			return jobResult{err: fmt.Errorf("bad trace upload: %w", err)}
-		}
-		job.Gen = r
-	}
 	tctx, tim := obs.WithTimings(ctx)
 	var res sample.Result
 	run := func() error {
@@ -491,12 +497,35 @@ func (s *Server) execute(ctx context.Context, rj *resolvedJob) jobResult {
 }
 
 // resolve validates a request into an executable job with its cache key,
-// enforcing this server's per-job size ceiling on top of the shared
-// resolution path (see address.go).
+// loading by-reference trace bytes from the store and enforcing this
+// server's per-job size ceiling on top of the shared resolution path (see
+// address.go). Failures on trace-sourced requests — bad uploads, unknown
+// or undecodable addresses — count into rfpsimd_trace_rejects_total so a
+// console polluting the daemon with dead references shows up on
+// dashboards.
 func (s *Server) resolve(req SimRequest) (*resolvedJob, error) {
+	rj, err := s.resolveInner(req)
+	if err != nil && (req.TraceB64 != "" || strings.HasPrefix(req.Workload, TraceWorkloadPrefix)) {
+		s.metrics.traceRejects.Add(1)
+	}
+	return rj, err
+}
+
+func (s *Server) resolveInner(req SimRequest) (*resolvedJob, error) {
 	rj, err := resolveRequest(req)
 	if err != nil {
 		return nil, err
+	}
+	if err := rj.loadTrace(s.traces); err != nil {
+		return nil, err
+	}
+	if rj.traceRaw != nil {
+		// Attach (and thereby header-validate) the generator at resolve
+		// time: an undecodable inline trace is the client's fault and must
+		// 400 before a worker is spent on it.
+		if err := attachTraceGen(&rj.job, rj.traceRaw); err != nil {
+			return nil, err
+		}
 	}
 	if total := rj.job.TotalUops(); total > s.opts.maxJobUops() {
 		return nil, fmt.Errorf("job size %d uops exceeds the per-job limit of %d", total, s.opts.maxJobUops())
@@ -504,12 +533,18 @@ func (s *Server) resolve(req SimRequest) (*resolvedJob, error) {
 	return rj, nil
 }
 
+// Traces exposes the uploaded-trace store (for embedding: the console
+// submits through it, tests seed it).
+func (s *Server) Traces() *TraceStore { return s.traces }
+
 // Handler returns the HTTP API: POST /v1/sim, GET/PUT /v1/result/{addr},
-// GET /v1/workloads, GET /healthz, GET /metrics.
+// POST/GET /v1/traces, GET /v1/workloads, GET /healthz, GET /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/sim", s.handleSim)
 	mux.HandleFunc("/v1/result/", s.handleResult)
+	mux.HandleFunc("/v1/traces", s.handleTraces)
+	mux.HandleFunc("/v1/traces/", s.handleTraceByAddr)
 	mux.HandleFunc("/v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -584,50 +619,70 @@ func writeJobError(w http.ResponseWriter, err error) {
 	}
 }
 
-func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
-	// The run ID is minted (or adopted from the client) before anything
-	// can fail, so even a 400 response carries the ID its log line has.
-	runID := r.Header.Get(RunIDHeader)
-	if !obs.ValidRunID(runID) {
-		runID = obs.NewRunID()
-	}
-	w.Header().Set(RunIDHeader, runID)
-	log := s.logger.With("run_id", runID)
+// RequestError marks a Do failure as a client error: the request itself
+// was invalid (unknown workload, malformed trace, over-limit job), as
+// opposed to backpressure or an execution failure. The HTTP layer maps it
+// to 400; the console surfaces it synchronously at submit time.
+type RequestError struct {
+	// Err is the underlying validation error.
+	Err error
+}
 
-	if r.Method != http.MethodPost {
-		writeJSONError(w, http.StatusMethodNotAllowed, "invalid", "POST only")
-		return
-	}
-	var req SimRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeJSONError(w, http.StatusBadRequest, "invalid", "bad request body: "+err.Error())
-		return
-	}
+// Error implements error.
+func (e *RequestError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *RequestError) Unwrap() error { return e.Err }
+
+// DoResult is a completed Do call.
+type DoResult struct {
+	// Body is the deterministic SimResponse JSON (newline-terminated),
+	// byte-identical across serving tiers.
+	Body []byte
+	// Tier reports which tier served the body: "hit", "disk", "dedup",
+	// "peer" or "miss" (the CacheHeader values).
+	Tier string
+	// Timings is the per-stage wall-clock breakdown of a computed
+	// ("miss") result; nil for cache-replayed tiers.
+	Timings *obs.Timings
+	// Key is the request's content address.
+	Key string
+}
+
+// Do resolves and executes one request through the full serving path —
+// memory cache, disk tier, single-flight dedup, peer fill, then
+// fair-share admission and simulation — and returns the deterministic
+// body with its serving tier. It is the programmatic twin of POST
+// /v1/sim: the HTTP handler and the embedded console both call it, so an
+// in-process submission hits exactly the tiers, metrics and logs an HTTP
+// one would. The context carries cancellation (client disconnect, console
+// shutdown) plus the obs run ID/logger; request timeouts are layered on
+// top here. Invalid requests return a *RequestError; backpressure returns
+// errQueueFull/errDraining (writeJobError maps both for HTTP callers).
+func (s *Server) Do(ctx context.Context, req SimRequest, tenant string) (*DoResult, error) {
+	log := obs.Logger(ctx)
 	rj, err := s.resolve(req)
 	if err != nil {
 		log.Debug("request rejected", "status", "invalid", "err", err.Error())
-		writeJSONError(w, http.StatusBadRequest, "invalid", err.Error())
-		return
+		return nil, &RequestError{Err: err}
 	}
-	tenant := tenantFrom(r.Header.Get(TenantHeader))
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
 	log = log.With("workload", rj.job.Spec.Name, "config", rj.job.Config.Name, "tenant", tenant)
 
 	// Tier 1: this daemon's memory cache.
 	if body, ok := s.cache.get(rj.key); ok {
 		s.metrics.cacheHits.Add(1)
 		log.Info("job served from cache", "tier", "memory", "key", rj.key[:12])
-		writeResult(w, "hit", body)
-		return
+		return &DoResult{Body: body, Tier: "hit", Key: rj.key}, nil
 	}
 	// Tier 2: the persistent disk cache (promoted into memory on hit).
 	if s.fabric != nil {
 		if body, ok := s.fabric.DiskGet(rj.key); ok {
 			s.cache.put(rj.key, body)
 			log.Info("job served from cache", "tier", "disk", "key", rj.key[:12])
-			writeResult(w, "disk", body)
-			return
+			return &DoResult{Body: body, Tier: "disk", Key: rj.key}, nil
 		}
 	}
 
@@ -637,14 +692,12 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	fl, leader := s.flights.Join(rj.key)
 	if !leader {
 		s.metrics.fabricDedup.Add(1)
-		body, err := fl.Wait(r.Context())
+		body, err := fl.Wait(ctx)
 		if err != nil {
-			writeJobError(w, err)
-			return
+			return nil, err
 		}
 		log.Info("job coalesced onto concurrent identical request", "key", rj.key[:12])
-		writeResult(w, "dedup", body)
-		return
+		return &DoResult{Body: body, Tier: "dedup", Key: rj.key}, nil
 	}
 	completed := false
 	complete := func(body []byte, err error) {
@@ -658,13 +711,12 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	// Tier 3: the shard owner's cache (peer fill). Any failure here
 	// degrades to simulating locally.
 	if s.fabric != nil {
-		if body, ok := s.fabric.FetchFromOwner(r.Context(), rj.key); ok {
+		if body, ok := s.fabric.FetchFromOwner(ctx, rj.key); ok {
 			s.cache.put(rj.key, body)
 			s.fabric.DiskPut(rj.key, body)
 			complete(body, nil)
 			log.Info("job served from cache", "tier", "peer", "key", rj.key[:12])
-			writeResult(w, "peer", body)
-			return
+			return &DoResult{Body: body, Tier: "peer", Key: rj.key}, nil
 		}
 	}
 
@@ -672,9 +724,8 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	s.metrics.cacheMisses.Add(1)
 	log.Info("job accepted", "key", rj.key[:12], "total_uops", rj.job.TotalUops())
 
-	// Client disconnect cancels the job; the run ID and logger ride the
-	// same context into the worker, runner and sample layers.
-	ctx := obs.WithLogger(obs.WithRunID(r.Context(), runID), s.logger)
+	// Caller cancellation propagates into the worker, runner and sample
+	// layers through the job's context.
 	if req.TimeoutMS > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
@@ -696,21 +747,58 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 			err = errDraining
 		}
 		complete(nil, err)
-		writeJobError(w, err)
-		return
+		return nil, err
 	}
 
 	// The worker always replies: cancellation propagates through ctx into
 	// the simulation loop, which aborts within a context-poll interval.
 	res := <-j.result
 	complete(res.body, res.err)
-	switch {
-	case res.err == nil:
-		w.Header().Set(TimingsHeader, res.timings.String())
-		writeResult(w, "miss", res.body)
-	default:
-		writeJobError(w, res.err)
+	if res.err != nil {
+		return nil, res.err
 	}
+	return &DoResult{Body: res.body, Tier: "miss", Timings: res.timings, Key: rj.key}, nil
+}
+
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	// The run ID is minted (or adopted from the client) before anything
+	// can fail, so even a 400 response carries the ID its log line has.
+	runID := r.Header.Get(RunIDHeader)
+	if !obs.ValidRunID(runID) {
+		runID = obs.NewRunID()
+	}
+	w.Header().Set(RunIDHeader, runID)
+
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "invalid", "POST only")
+		return
+	}
+	var req SimRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "invalid", "bad request body: "+err.Error())
+		return
+	}
+
+	// Client disconnect cancels the job; the run ID and logger ride the
+	// same context into Do and from there into the worker, runner and
+	// sample layers.
+	ctx := obs.WithLogger(obs.WithRunID(r.Context(), runID), s.logger)
+	res, err := s.Do(ctx, req, tenantFrom(r.Header.Get(TenantHeader)))
+	if err != nil {
+		var reqErr *RequestError
+		if errors.As(err, &reqErr) {
+			writeJSONError(w, http.StatusBadRequest, "invalid", err.Error())
+			return
+		}
+		writeJobError(w, err)
+		return
+	}
+	if res.Timings != nil {
+		w.Header().Set(TimingsHeader, res.Timings.String())
+	}
+	writeResult(w, res.Tier, res.Body)
 }
 
 // handleResult is the fabric's peer protocol (docs/fabric.md):

@@ -26,6 +26,10 @@ type LocalBackend struct {
 	// Metrics, when set, records per-unit latency under the "local"
 	// backend label.
 	Metrics *Metrics
+	// Traces, when set, supplies the bytes behind "trace:<sha256>"
+	// workload references (rfpsweep -traces fills it). Nil makes such
+	// units fail resolution with an "unknown trace address" error.
+	Traces *service.TraceStore
 }
 
 // Name implements Backend.
@@ -33,7 +37,7 @@ func (LocalBackend) Name() string { return "local" }
 
 // Run implements Backend.
 func (b LocalBackend) Run(ctx context.Context, u Unit) (*service.SimResponse, error) {
-	job, _, err := service.ResolveJob(u.Req)
+	job, _, err := service.ResolveJobWith(u.Req, b.Traces)
 	if err != nil {
 		return nil, err
 	}

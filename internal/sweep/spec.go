@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"strings"
 
+	"rfpsim/internal/fabric"
 	"rfpsim/internal/service"
 	"rfpsim/internal/trace"
 )
@@ -42,8 +43,11 @@ type Spec struct {
 	// "full"); empty means "norfp". Only valid with mode "check_diff".
 	DiffMode string `json:"diff_mode,omitempty"`
 	// Workloads lists catalog entries to sweep over. An entry may also be
-	// "all" (the whole catalog) or "category:<name>" (one Table 3
-	// category). Duplicates after expansion are rejected.
+	// "all" (the whole catalog), "category:<name>" (one Table 3 category)
+	// or "trace:<sha256>" (an uploaded trace by content address; the local
+	// backend resolves it from its trace store, the HTTP backend from the
+	// daemons' — upload with rfpsweep -traces or POST /v1/traces first).
+	// Duplicates after expansion are rejected.
 	Workloads []string `json:"workloads"`
 	// Base is the configuration every grid point starts from; axes
 	// override individual knobs on top of it.
@@ -149,6 +153,17 @@ func (s *Spec) workloads() ([]trace.Spec, error) {
 					return nil, err
 				}
 			}
+		case strings.HasPrefix(w, service.TraceWorkloadPrefix):
+			// An uploaded trace by content address. The spec entry carries
+			// the full 64-hex digest (so the unit keys exactly like a POST
+			// /v1/sim for the same trace); labels shorten it for the CSV.
+			addr := strings.TrimPrefix(w, service.TraceWorkloadPrefix)
+			if !fabric.ValidAddr(addr) {
+				return nil, fmt.Errorf("sweep: malformed trace address %q (want the 64-hex sha256 from POST /v1/traces)", w)
+			}
+			if err := add(trace.Spec{Name: w, Category: "trace-file"}); err != nil {
+				return nil, err
+			}
 		default:
 			sp, ok := trace.ByName(w)
 			if !ok {
@@ -249,7 +264,7 @@ func (s *Spec) Expand() ([]Unit, error) {
 			if err != nil {
 				return nil, fmt.Errorf("sweep: %s/%s: %w", wl.Name, pointLabel(s.Axes, choice), err)
 			}
-			label := s.Name + "/" + wl.Name + "/" + pointLabel(s.Axes, choice)
+			label := s.Name + "/" + displayName(wl.Name) + "/" + pointLabel(s.Axes, choice)
 			if prev, dup := byKey[key]; dup {
 				return nil, fmt.Errorf("sweep: units %s and %s resolve to the same simulation (key %s)", prev, label, key[:12])
 			}
@@ -270,6 +285,18 @@ func (s *Spec) Expand() ([]Unit, error) {
 		}
 	}
 	return units, nil
+}
+
+// displayName shortens a trace-addressed workload name for labels the
+// same way the daemon names the resolved spec (trace: plus 16 hex chars);
+// catalog names pass through unchanged. The unit's request keeps the full
+// digest, so keying is unaffected.
+func displayName(name string) string {
+	const short = len(service.TraceWorkloadPrefix) + 16
+	if strings.HasPrefix(name, service.TraceWorkloadPrefix) && len(name) > short {
+		return name[:short]
+	}
+	return name
 }
 
 // pointLabel renders one grid point's swept knobs ("base" when no axes).

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -11,8 +12,10 @@ import (
 	"testing"
 	"time"
 
+	"rfpsim/internal/isa"
 	"rfpsim/internal/service"
 	"rfpsim/internal/trace"
+	"rfpsim/internal/tracefile"
 )
 
 // testSpecJSON is a 2-workload x (4 pt_entries x 3 confidence_bits) grid:
@@ -301,6 +304,110 @@ func TestSpecRoundTripsThroughJSON(t *testing.T) {
 	for i := range u1 {
 		if u1[i].Key != u2[i].Key {
 			t.Errorf("unit %d key differs after round trip", i)
+		}
+	}
+}
+
+// traceRFPT encodes n uops of a catalog workload into raw .rfpt bytes —
+// the format POST /v1/traces (and the local backend's trace store)
+// accepts.
+func traceRFPT(t *testing.T, n int) []byte {
+	t.Helper()
+	sp, ok := trace.ByName("spec06_mcf")
+	if !ok {
+		t.Fatal("spec06_mcf missing from catalog")
+	}
+	gen := sp.New()
+	var buf bytes.Buffer
+	w := tracefile.NewWriter(&buf)
+	var op isa.MicroOp
+	for i := 0; i < n; i++ {
+		if !gen.Next(&op) {
+			t.Fatalf("catalog generator ended at uop %d", i)
+		}
+		if err := w.Write(&op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepTraceWorkload: a "trace:<sha256>" spec entry expands next to a
+// catalog workload, resolves through the local backend's trace store, and
+// the aggregate CSV is byte-identical across two full runs — the same
+// determinism contract catalog-only sweeps pin.
+func TestSweepTraceWorkload(t *testing.T) {
+	store := service.NewTraceStore(0, 0, nil)
+	info, _, err := store.Add(traceRFPT(t, 6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specJSON := fmt.Sprintf(`{
+		"name": "trsweep",
+		"workloads": ["spec06_mcf", %q],
+		"base": {"rfp": true},
+		"axes": [{"knob": "pt_entries", "values": [128, 256]}],
+		"warmup_uops": 1000,
+		"measure_uops": 3000
+	}`, info.Workload)
+	spec, err := ParseSpec([]byte(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 4 {
+		t.Fatalf("expanded %d units, want 4", len(units))
+	}
+	// Labels shorten the digest the way the daemon names the spec; the
+	// request keeps the full address so keys match POST /v1/sim exactly.
+	wantLabel := "trsweep/" + info.Workload[:len("trace:")+16] + "/pt_entries=128"
+	if units[1].Label != wantLabel {
+		t.Errorf("trace unit label = %q, want %q", units[1].Label, wantLabel)
+	}
+	if units[1].Req.Workload != info.Workload {
+		t.Errorf("trace unit request workload = %q, want %q", units[1].Req.Workload, info.Workload)
+	}
+
+	runCSV := func() string {
+		backend := LocalBackend{Traces: store}
+		sum, err := Run(context.Background(), units, backend, Options{Parallel: 2}, &Metrics{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := sum.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := runCSV()
+	if second := runCSV(); second != first {
+		t.Errorf("trace-sourced sweep CSV not deterministic:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+	if !strings.Contains(first, wantLabel) {
+		t.Errorf("CSV missing trace unit rows:\n%s", first)
+	}
+
+	// Without a store the trace unit must fail loudly, not hang or panic.
+	if _, err := (LocalBackend{}).Run(context.Background(), units[1]); err == nil {
+		t.Error("trace unit ran without a trace store")
+	}
+}
+
+// TestExpandRejectsBadTraceAddress pins the loud failure for a malformed
+// trace selector (anything but 64 hex chars after the prefix).
+func TestExpandRejectsBadTraceAddress(t *testing.T) {
+	for _, w := range []string{"trace:", "trace:abc", "trace:" + strings.Repeat("z", 64)} {
+		spec := &Spec{Name: "bad", Workloads: []string{w}}
+		if _, err := spec.Expand(); err == nil {
+			t.Errorf("workload %q accepted", w)
 		}
 	}
 }
